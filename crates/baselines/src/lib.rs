@@ -1,0 +1,30 @@
+//! # lowsense-baselines — comparison protocols
+//!
+//! The protocols `LOW-SENSING BACKOFF` is measured against, plus parametric
+//! ablation variants of the algorithm itself:
+//!
+//! | protocol | feedback loop | role |
+//! |----------|---------------|------|
+//! | [`WindowedBeb`], [`ProbBeb`] | none (oblivious) | the classical baseline; `O(1/ln N)` batch throughput (§1, \[23\]) |
+//! | [`PolynomialBackoff`] | none | second oblivious baseline |
+//! | [`SlottedAloha`] | none (genie `p = 1/N`) | the `1/e` reference line |
+//! | [`CjpMwu`] | **every slot** | short-feedback-loop MWU (\[36\]); constant throughput, `Θ(lifetime)` listens |
+//! | [`LowSensingVariant`] | tunable | ablations A2–A4 |
+//!
+//! All implement the `lowsense-sim` protocol traits and run under the same
+//! engines, adversaries, and metrics as the core algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod beb;
+pub mod cjp;
+pub mod polynomial;
+pub mod variant;
+
+pub use aloha::SlottedAloha;
+pub use beb::{ProbBeb, WindowedBeb};
+pub use cjp::{CjpConfig, CjpMwu};
+pub use polynomial::PolynomialBackoff;
+pub use variant::{Coupling, LowSensingVariant, UpdateRule, VariantConfig};

@@ -1,0 +1,135 @@
+//! Polynomial backoff: contention window grows as `w₀·(i+1)^k`.
+//!
+//! A classical alternative to exponential backoff (Hastad–Leighton–Rogoff
+//! 1987 showed polynomial backoff is stable in regimes where exponential is
+//! not, at the price of latency). Included as a second oblivious baseline
+//! for the throughput comparison (T2).
+
+use lowsense_sim::feedback::{Intent, Observation};
+use lowsense_sim::protocol::{Protocol, SparseProtocol};
+use lowsense_sim::rng::SimRng;
+
+/// Windowed polynomial backoff.
+#[derive(Debug, Clone)]
+pub struct PolynomialBackoff {
+    w0: u64,
+    degree: u32,
+    attempt: u64,
+    countdown: u64,
+    rng: SimRng,
+}
+
+impl PolynomialBackoff {
+    /// Creates a packet whose window after `i` collisions is `w₀·(i+1)^k`
+    /// with `k = degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0 == 0` or `degree == 0`.
+    pub fn new(w0: u64, degree: u32, rng: &mut SimRng) -> Self {
+        assert!(w0 > 0, "initial window must be positive");
+        assert!(degree > 0, "degree must be positive");
+        let mut own = rng.fork();
+        let countdown = own.range_u64(w0);
+        PolynomialBackoff {
+            w0,
+            degree,
+            attempt: 0,
+            countdown,
+            rng: own,
+        }
+    }
+
+    /// Current window length `w₀·(i+1)^k`.
+    pub fn window(&self) -> u64 {
+        let grown = (self.attempt + 1).saturating_pow(self.degree);
+        self.w0.saturating_mul(grown)
+    }
+}
+
+impl Protocol for PolynomialBackoff {
+    fn intent(&mut self, _rng: &mut SimRng) -> Intent {
+        if self.countdown == 0 {
+            Intent::Send
+        } else {
+            self.countdown -= 1;
+            Intent::Sleep
+        }
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        debug_assert!(obs.sent, "oblivious protocol only observes own sends");
+        if obs.succeeded {
+            return;
+        }
+        self.attempt += 1;
+        let w = self.window();
+        self.countdown = self.rng.range_u64(w);
+    }
+
+    fn send_probability(&self) -> f64 {
+        1.0 / self.window() as f64
+    }
+}
+
+impl SparseProtocol for PolynomialBackoff {
+    fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
+        self.countdown
+    }
+
+    fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowsense_sim::arrivals::Batch;
+    use lowsense_sim::config::SimConfig;
+    use lowsense_sim::engine::run_sparse;
+    use lowsense_sim::feedback::Feedback;
+    use lowsense_sim::hooks::NoHooks;
+    use lowsense_sim::jamming::NoJam;
+
+    fn collision() -> Observation {
+        Observation {
+            slot: 0,
+            feedback: Feedback::Noisy,
+            sent: true,
+            succeeded: false,
+        }
+    }
+
+    #[test]
+    fn window_grows_polynomially() {
+        let mut rng = SimRng::new(1);
+        let mut p = PolynomialBackoff::new(4, 2, &mut rng);
+        assert_eq!(p.window(), 4);
+        p.observe(&collision());
+        assert_eq!(p.window(), 16); // 4·2²
+        p.observe(&collision());
+        assert_eq!(p.window(), 36); // 4·3²
+    }
+
+    #[test]
+    fn saturating_window_never_overflows() {
+        let mut rng = SimRng::new(2);
+        let mut p = PolynomialBackoff::new(u64::MAX / 2, 3, &mut rng);
+        p.observe(&collision());
+        assert_eq!(p.window(), u64::MAX);
+    }
+
+    #[test]
+    fn drains_batch() {
+        let r = run_sparse(
+            &SimConfig::new(3),
+            Batch::new(64),
+            NoJam,
+            |rng| PolynomialBackoff::new(2, 2, &mut *rng),
+            &mut NoHooks,
+        );
+        assert!(r.drained());
+        assert_eq!(r.totals.listens, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Benches for ablations A1–A4 and extensions X1–X2: prints each table
+//! (quick scale) once, then times the experiment kernel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowsense_experiments::{registry, Scale};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for e in registry() {
+        if !e.id.starts_with('A') && !e.id.starts_with('X') {
+            continue;
+        }
+        for t in (e.run)(Scale::Quick) {
+            println!("{}", t.render());
+        }
+        group.bench_function(e.id, |b| b.iter(|| (e.run)(Scale::Quick)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

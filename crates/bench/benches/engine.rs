@@ -1,0 +1,160 @@
+//! Engine and sampler micro-benchmarks.
+//!
+//! The headline: the sparse engine resolves a `LOW-SENSING BACKOFF` batch
+//! in time proportional to *channel accesses* (polylog per packet), not
+//! slots — which is what makes million-packet Monte Carlo feasible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowsense::{LowSensing, Params, PotentialTracker};
+use lowsense_baselines::{CjpConfig, CjpMwu};
+use lowsense_sim::arrivals::Batch;
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::dist::{geometric, Binomial};
+use lowsense_sim::engine::{run_dense, run_grouped, run_sparse};
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense_sim::metrics::MetricsConfig;
+use lowsense_sim::rng::SimRng;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::new(seed).metrics(MetricsConfig::totals_only())
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("sparse_lsb_batch_4096", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_sparse(
+                &cfg(seed),
+                Batch::new(4096),
+                NoJam,
+                |_| LowSensing::new(Params::default()),
+                &mut NoHooks,
+            )
+        })
+    });
+
+    group.bench_function("sparse_lsb_batch_65536", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_sparse(
+                &cfg(seed),
+                Batch::new(65_536),
+                NoJam,
+                |_| LowSensing::new(Params::default()),
+                &mut NoHooks,
+            )
+        })
+    });
+
+    group.bench_function("sparse_lsb_batch_4096_jammed", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_sparse(
+                &cfg(seed),
+                Batch::new(4096),
+                RandomJam::new(0.2),
+                |_| LowSensing::new(Params::default()),
+                &mut NoHooks,
+            )
+        })
+    });
+
+    group.bench_function("dense_lsb_batch_512", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_dense(
+                &cfg(seed),
+                Batch::new(512),
+                NoJam,
+                |_| LowSensing::new(Params::default()),
+                &mut NoHooks,
+            )
+        })
+    });
+
+    group.bench_function("grouped_cjp_batch_4096", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_grouped(&cfg(seed), Batch::new(4096), NoJam, |_| {
+                CjpMwu::new(CjpConfig::default())
+            })
+        })
+    });
+
+    group.bench_function("sparse_lsb_with_potential_tracker_2048", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut tracker = PotentialTracker::default();
+            run_sparse(
+                &cfg(seed),
+                Batch::new(2048),
+                NoJam,
+                |_| LowSensing::new(Params::default()),
+                &mut tracker,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("geometric_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(geometric(&mut rng, 0.01));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("binomial_binv_10k", |b| {
+        let mut rng = SimRng::new(2);
+        let d = Binomial::new(100, 0.05); // np = 5 → BINV
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += d.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("binomial_btpe_10k", |b| {
+        let mut rng = SimRng::new(3);
+        let d = Binomial::new(100_000, 0.3); // np = 30k → BTPE
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += d.sample(&mut rng);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_samplers);
+criterion_main!(benches);

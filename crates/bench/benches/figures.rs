@@ -1,0 +1,28 @@
+//! Benches for figures F2–F6: prints each reproduced figure-table (quick
+//! scale) once, then times the experiment kernel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lowsense_experiments::{registry, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for e in registry() {
+        if !e.id.starts_with('F') {
+            continue;
+        }
+        for t in (e.run)(Scale::Quick) {
+            println!("{}", t.render());
+        }
+        group.bench_function(e.id, |b| b.iter(|| (e.run)(Scale::Quick)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,335 @@
+//! Interval-level potential drift measurement (Theorem 5.18, §4.3).
+//!
+//! The analysis divides the execution into intervals of length
+//! `τ = (1/c_int)·max(w_max/ln²(w_max), √N)`, evaluated at the interval's
+//! start, and proves that `Φ` drops by `Ω(τ) − O(A + J)` over each interval
+//! w.h.p. (`A` arrivals, `J` jams inside the interval). The
+//! [`IntervalRecorder`] reproduces exactly this bookkeeping on a live run so
+//! experiment F2 can test the theorem's shape empirically.
+//!
+//! Bookkeeping conventions (all immaterial at measurement precision):
+//! `Φ` is sampled at the *start* of a slot (engines report a slot before
+//! applying its observations), so an interval's recorded drift misses the
+//! final slot's update — an `O(1/τ)` relative effect; the drain of the
+//! system is folded into the last record exactly. `Φ(start)` is read after
+//! the injections of the starting slot; jam counts inside skipped gaps are
+//! attributed to the interval open when the gap is accounted.
+
+use lowsense_sim::feedback::SlotOutcome;
+use lowsense_sim::hooks::Hooks;
+use lowsense_sim::packet::PacketId;
+use lowsense_sim::time::Slot;
+
+use crate::potential::PotentialTracker;
+use crate::protocol::LowSensing;
+
+/// One completed analysis interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalRecord {
+    /// Slot at which the interval opened.
+    pub start_slot: Slot,
+    /// Scheduled length `τ`.
+    pub tau: u64,
+    /// Realized length (may be shorter if the system drained).
+    pub len: u64,
+    /// `Φ` at the start.
+    pub phi_start: f64,
+    /// `Φ` at the end.
+    pub phi_end: f64,
+    /// Packet arrivals during the interval (`A`).
+    pub arrivals: u64,
+    /// Jammed slots during the interval (`J`).
+    pub jams: u64,
+    /// Whether the interval ended early because the system drained.
+    pub drained: bool,
+}
+
+impl IntervalRecord {
+    /// The drift `Φ(end) − Φ(start)`.
+    pub fn delta_phi(&self) -> f64 {
+        self.phi_end - self.phi_start
+    }
+
+    /// Drift normalized by realized length — Theorem 5.18 predicts this is
+    /// `≤ −Ω(1) + O((A+J)/τ)` with high probability.
+    pub fn drift_per_slot(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.delta_phi() / self.len as f64
+        }
+    }
+}
+
+struct OpenInterval {
+    start_slot: Slot,
+    tau: u64,
+    elapsed: u64,
+    phi_start: f64,
+    arrivals: u64,
+    jams: u64,
+}
+
+/// Hooks adapter that maintains a [`PotentialTracker`] and slices the run
+/// into Theorem 5.18 intervals.
+///
+/// # Examples
+///
+/// ```
+/// use lowsense::{IntervalRecorder, LowSensing, Params};
+/// use lowsense_sim::prelude::*;
+///
+/// let mut rec = IntervalRecorder::new(1.0);
+/// let _ = run_sparse(
+///     &SimConfig::new(5),
+///     Batch::new(500),
+///     NoJam,
+///     |_rng| LowSensing::new(Params::default()),
+///     &mut rec,
+/// );
+/// let records = rec.records();
+/// assert!(!records.is_empty());
+/// // Across a drained batch run the potential falls overall.
+/// let total: f64 = records.iter().map(|r| r.delta_phi()).sum();
+/// assert!(total < 0.0);
+/// ```
+pub struct IntervalRecorder {
+    tracker: PotentialTracker,
+    c_int: f64,
+    current: Option<OpenInterval>,
+    records: Vec<IntervalRecord>,
+}
+
+impl IntervalRecorder {
+    /// Creates a recorder with interval constant `c_int` (paper: `c_int`;
+    /// `τ = max(L, √N)/c_int`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c_int > 0`.
+    pub fn new(c_int: f64) -> Self {
+        assert!(c_int > 0.0, "c_int must be positive");
+        IntervalRecorder {
+            tracker: PotentialTracker::default(),
+            c_int,
+            current: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Completed intervals.
+    pub fn records(&self) -> &[IntervalRecord] {
+        &self.records
+    }
+
+    /// The underlying potential tracker.
+    pub fn tracker(&self) -> &PotentialTracker {
+        &self.tracker
+    }
+
+    fn tau(&self) -> u64 {
+        let l = self.tracker.l();
+        let n = self.tracker.packets() as f64;
+        let tau = l.max(n.sqrt()) / self.c_int;
+        (tau.ceil() as u64).max(1)
+    }
+
+    fn open(&mut self, t: Slot) {
+        debug_assert!(self.current.is_none());
+        self.current = Some(OpenInterval {
+            start_slot: t,
+            tau: self.tau(),
+            elapsed: 0,
+            phi_start: self.tracker.phi(),
+            arrivals: 0,
+            jams: 0,
+        });
+    }
+
+    /// Opens an interval at `start` if none is open and packets are active.
+    ///
+    /// Intervals open lazily at the first *accounted slot* rather than at
+    /// injection time, so `τ` is computed from the full start-of-interval
+    /// state (e.g. an entire batch, not its first packet).
+    fn ensure_open(&mut self, start: Slot) {
+        if self.current.is_none() && self.tracker.packets() > 0 {
+            self.open(start);
+        }
+    }
+
+    fn close(&mut self, drained: bool) {
+        let iv = self.current.take().expect("closing without open interval");
+        self.records.push(IntervalRecord {
+            start_slot: iv.start_slot,
+            tau: iv.tau,
+            len: iv.elapsed,
+            phi_start: iv.phi_start,
+            phi_end: self.tracker.phi(),
+            arrivals: iv.arrivals,
+            jams: iv.jams,
+            drained,
+        });
+    }
+
+    /// Advances `slots` slots, the last of which is `now`, closing and
+    /// reopening intervals at their scheduled boundaries.
+    fn advance(&mut self, mut slots: u64, now: Slot) {
+        while slots > 0 {
+            if self.current.is_none() {
+                if self.tracker.packets() == 0 {
+                    return;
+                }
+                self.open(now + 1 - slots);
+            }
+            let iv = self.current.as_mut().expect("interval just ensured");
+            let room = iv.tau - iv.elapsed;
+            let step = slots.min(room);
+            iv.elapsed += step;
+            slots -= step;
+            if iv.elapsed == iv.tau {
+                self.close(false);
+            }
+        }
+    }
+}
+
+impl Hooks<LowSensing> for IntervalRecorder {
+    fn on_inject(&mut self, t: Slot, id: PacketId, state: &LowSensing) {
+        self.tracker.on_inject(t, id, state);
+        // Arrivals before the interval opens (i.e. in the interval's very
+        // first slot) contribute to τ's N, not to the interval's A.
+        if let Some(iv) = &mut self.current {
+            iv.arrivals += 1;
+        }
+    }
+
+    fn on_depart(&mut self, t: Slot, id: PacketId, state: &LowSensing) {
+        self.tracker.on_depart(t, id, state);
+        if self.tracker.packets() == 0 {
+            if self.current.is_some() {
+                self.close(true);
+            } else if let Some(last) = self.records.last_mut() {
+                // The interval closed at this very slot's scheduled
+                // boundary, before the slot's departures were applied:
+                // fold the drain into it so Φ(end) = 0 exactly.
+                last.phi_end = self.tracker.phi();
+                last.drained = true;
+            }
+        }
+    }
+
+    fn on_observe(&mut self, t: Slot, id: PacketId, before: &LowSensing, after: &LowSensing) {
+        self.tracker.on_observe(t, id, before, after);
+    }
+
+    fn on_slot(&mut self, t: Slot, outcome: &SlotOutcome) {
+        self.tracker.on_slot(t, outcome);
+        self.ensure_open(t);
+        if let SlotOutcome::Jammed { .. } = outcome {
+            if let Some(iv) = &mut self.current {
+                iv.jams += 1;
+            }
+        }
+        self.advance(1, t);
+    }
+
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        self.tracker.on_gap(from, to, jammed);
+        self.ensure_open(from);
+        if let Some(iv) = &mut self.current {
+            iv.jams += jammed;
+        }
+        self.advance(to - from, to - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn pkt() -> LowSensing {
+        LowSensing::new(Params::default())
+    }
+
+    #[test]
+    fn interval_opens_on_first_arrival_and_closes_on_drain() {
+        let mut rec = IntervalRecorder::new(1.0);
+        rec.on_inject(5, PacketId(0), &pkt());
+        rec.on_slot(5, &SlotOutcome::Empty);
+        rec.on_depart(6, PacketId(0), &pkt());
+        assert_eq!(rec.records().len(), 1);
+        let r = rec.records()[0];
+        assert_eq!(r.start_slot, 5);
+        assert!(r.drained);
+        assert_eq!(r.phi_end, 0.0);
+        assert!(r.phi_start > 0.0);
+    }
+
+    #[test]
+    fn interval_closes_at_tau_and_reopens() {
+        let mut rec = IntervalRecorder::new(1.0);
+        // 9 packets → τ = ceil(max(L, 3)) with L = 4/ln²4 ≈ 2.08 → τ = 3.
+        for i in 0..9 {
+            rec.on_inject(0, PacketId(i), &pkt());
+        }
+        for t in 0..7 {
+            rec.on_slot(t, &SlotOutcome::Empty);
+        }
+        // τ = 3: closed intervals at slots 0-2 and 3-5; third one open.
+        assert_eq!(rec.records().len(), 2);
+        assert!(rec.records().iter().all(|r| r.tau == 3 && r.len == 3));
+        assert!(!rec.records()[0].drained);
+    }
+
+    #[test]
+    fn gap_advances_across_boundaries() {
+        let mut rec = IntervalRecorder::new(1.0);
+        for i in 0..100 {
+            rec.on_inject(0, PacketId(i), &pkt());
+        }
+        // τ = 10 (√100); a 35-slot gap closes three intervals.
+        rec.on_gap(0, 35, 7);
+        assert_eq!(rec.records().len(), 3);
+        assert_eq!(rec.records()[0].jams, 7, "gap jams go to the open interval");
+        assert_eq!(rec.records()[1].jams, 0);
+    }
+
+    #[test]
+    fn arrivals_counted_inside_interval() {
+        let mut rec = IntervalRecorder::new(1.0);
+        for i in 0..4 {
+            rec.on_inject(0, PacketId(i), &pkt());
+        }
+        rec.on_slot(0, &SlotOutcome::Empty);
+        rec.on_inject(1, PacketId(4), &pkt());
+        rec.on_slot(1, &SlotOutcome::Empty);
+        // First interval: τ = max(2.08, 2) → 3 slots; the slot-1 arrival
+        // lands inside it.
+        rec.on_slot(2, &SlotOutcome::Empty);
+        assert_eq!(rec.records().len(), 1);
+        assert_eq!(rec.records()[0].arrivals, 1);
+    }
+
+    #[test]
+    fn drift_helpers() {
+        let r = IntervalRecord {
+            start_slot: 0,
+            tau: 10,
+            len: 10,
+            phi_start: 50.0,
+            phi_end: 42.0,
+            arrivals: 0,
+            jams: 0,
+            drained: false,
+        };
+        assert!((r.delta_phi() + 8.0).abs() < 1e-12);
+        assert!((r.drift_per_slot() + 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_int must be positive")]
+    fn c_int_validated() {
+        IntervalRecorder::new(0.0);
+    }
+}

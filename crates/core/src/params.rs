@@ -1,0 +1,204 @@
+//! Algorithm parameters for `LOW-SENSING BACKOFF` (paper Figure 1).
+//!
+//! Two constants fully determine the algorithm: the multiplier `c` and the
+//! minimum window `w_min`. The paper asks for "sufficiently large" values;
+//! the constraints that actually bind an implementation are
+//!
+//! * `p_send|listen = 1/(c·ln³ w) ≤ 1` for all reachable `w ≥ w_min`, i.e.
+//!   `c·ln³(w_min) ≥ 1` — this keeps the *unconditional* send probability
+//!   exactly `1/w`, the identity the whole analysis leans on;
+//! * `p_listen = c·ln³(w)/w ≤ 1`, i.e. `c ≤ min_{w ≥ w_min} w/ln³ w`
+//!   (that minimum is `e³/27 ≈ 0.744`, attained at `w = e³ ≈ 20.1`).
+//!
+//! The first is enforced at construction; the second is advisory (the
+//! implementation clamps the listen probability at 1 and
+//! [`Params::respects_listen_cap`] reports whether clamping can occur).
+//! Defaults `c = 0.5`, `w_min = 4` satisfy both with margin.
+
+use std::fmt;
+
+/// Parameters of `LOW-SENSING BACKOFF`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    c: f64,
+    w_min: f64,
+}
+
+/// Validation failure constructing [`Params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `c` was non-positive or not finite.
+    BadC,
+    /// `w_min` was below 2 or not finite (the analysis needs `w ≥ 2`).
+    BadWMin,
+    /// `c · ln³(w_min) < 1`, which would force the conditional send
+    /// probability above 1 and break the `p_send = 1/w` identity.
+    SendProbabilityOverflow,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadC => write!(f, "c must be positive and finite"),
+            ParamError::BadWMin => write!(f, "w_min must be finite and at least 2"),
+            ParamError::SendProbabilityOverflow => {
+                write!(f, "c·ln³(w_min) must be at least 1 so that p_send|listen ≤ 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Params {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] when `c ≤ 0`, `w_min < 2`, or
+    /// `c·ln³(w_min) < 1` (see module docs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lowsense::Params;
+    ///
+    /// let p = Params::new(0.5, 4.0)?;
+    /// assert!(p.respects_listen_cap());
+    /// # Ok::<(), lowsense::ParamError>(())
+    /// ```
+    pub fn new(c: f64, w_min: f64) -> Result<Self, ParamError> {
+        if c <= 0.0 || !c.is_finite() {
+            return Err(ParamError::BadC);
+        }
+        if w_min < 2.0 || !w_min.is_finite() {
+            return Err(ParamError::BadWMin);
+        }
+        if c * w_min.ln().powi(3) < 1.0 {
+            return Err(ParamError::SendProbabilityOverflow);
+        }
+        Ok(Params { c, w_min })
+    }
+
+    /// The multiplier `c`.
+    #[inline]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The minimum window `w_min`.
+    #[inline]
+    pub fn w_min(&self) -> f64 {
+        self.w_min
+    }
+
+    /// Whether `c·ln³(w)/w ≤ 1` for every reachable window, so the listen
+    /// probability is never clamped and the implementation matches the
+    /// paper's idealized algorithm exactly.
+    pub fn respects_listen_cap(&self) -> bool {
+        // w/ln³w is U-shaped with minimum at w = e³; check the minimum of
+        // the reachable region [w_min, ∞).
+        let e3 = std::f64::consts::E.powi(3);
+        let at = |w: f64| w / w.ln().powi(3);
+        let min = if self.w_min <= e3 { at(e3) } else { at(self.w_min) };
+        self.c <= min
+    }
+
+    /// Probability that a packet with window `w` listens this slot:
+    /// `min(1, c·ln³(w)/w)`.
+    #[inline]
+    pub fn listen_probability(&self, w: f64) -> f64 {
+        (self.c * w.ln().powi(3) / w).min(1.0)
+    }
+
+    /// Probability that a listening packet also sends:
+    /// `min(1, 1/(c·ln³ w))` (the min never binds for valid parameters).
+    #[inline]
+    pub fn send_probability_given_listen(&self, w: f64) -> f64 {
+        (1.0 / (self.c * w.ln().powi(3))).min(1.0)
+    }
+}
+
+impl Default for Params {
+    /// Practical defaults `c = 0.5`, `w_min = 4` (see module docs).
+    fn default() -> Self {
+        Params::new(0.5, 4.0).expect("default parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_unclamped() {
+        let p = Params::default();
+        assert_eq!(p.c(), 0.5);
+        assert_eq!(p.w_min(), 4.0);
+        assert!(p.respects_listen_cap());
+    }
+
+    #[test]
+    fn rejects_bad_c() {
+        assert_eq!(Params::new(0.0, 4.0), Err(ParamError::BadC));
+        assert_eq!(Params::new(-1.0, 4.0), Err(ParamError::BadC));
+        assert_eq!(Params::new(f64::NAN, 4.0), Err(ParamError::BadC));
+        assert_eq!(Params::new(f64::INFINITY, 4.0), Err(ParamError::BadC));
+    }
+
+    #[test]
+    fn rejects_bad_w_min() {
+        assert_eq!(Params::new(0.5, 1.9), Err(ParamError::BadWMin));
+        assert_eq!(Params::new(0.5, f64::NAN), Err(ParamError::BadWMin));
+    }
+
+    #[test]
+    fn rejects_send_probability_overflow() {
+        // c·ln³(2) = 0.5·0.333 < 1.
+        assert_eq!(
+            Params::new(0.5, 2.0),
+            Err(ParamError::SendProbabilityOverflow)
+        );
+    }
+
+    #[test]
+    fn unconditional_send_probability_is_one_over_w() {
+        let p = Params::default();
+        for w in [4.0, 7.3, 20.0, 1e3, 1e6] {
+            let prod = p.listen_probability(w) * p.send_probability_given_listen(w);
+            assert!(
+                (prod - 1.0 / w).abs() < 1e-12,
+                "w={w}: p_send = {prod}, expect {}",
+                1.0 / w
+            );
+        }
+    }
+
+    #[test]
+    fn listen_cap_detection() {
+        // c = 2 exceeds min w/ln³w ≈ 0.744 ⇒ clamping occurs around w ≈ e³.
+        let p = Params::new(2.0, 4.0).unwrap();
+        assert!(!p.respects_listen_cap());
+        assert_eq!(p.listen_probability(20.0), 1.0);
+        // Large w_min moves the reachable region past the dip.
+        let q = Params::new(2.0, 2000.0).unwrap();
+        assert!(q.respects_listen_cap());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let p = Params::new(1.0, 3.0).unwrap();
+        for w in [3.0, 5.0, 20.0, 100.0, 1e9] {
+            let pl = p.listen_probability(w);
+            let ps = p.send_probability_given_listen(w);
+            assert!((0.0..=1.0).contains(&pl), "listen {pl} at w={w}");
+            assert!((0.0..=1.0).contains(&ps), "send {ps} at w={w}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParamError::BadC.to_string().contains('c'));
+        assert!(ParamError::SendProbabilityOverflow.to_string().contains("ln³"));
+    }
+}

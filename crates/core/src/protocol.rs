@@ -1,0 +1,248 @@
+//! The `LOW-SENSING BACKOFF` protocol (paper Figure 1).
+//!
+//! Per slot, a packet with window `w`:
+//!
+//! 1. **listens** with probability `c·ln³(w)/w`;
+//! 2. conditioned on listening, **sends** with probability `1/(c·ln³ w)`
+//!    — so the unconditional send probability is exactly `1/w`;
+//! 3. on hearing **silence** backs on: `w ← max(w/(1+1/(c·ln w)), w_min)`;
+//! 4. on hearing **noise** backs off: `w ← w·(1+1/(c·ln w))`.
+//!
+//! Hearing a *successful* slot (another packet's lone transmission) changes
+//! nothing. Sending and listening are deliberately coupled — a sender has
+//! already "decided to listen" — which the energy analysis exploits
+//! (Theorem 5.25: every listen carries a `1/(c·ln³ w)` chance of being a
+//! send, so long listen streaks imply success).
+
+use lowsense_sim::dist::geometric;
+use lowsense_sim::feedback::{Feedback, Intent, Observation};
+use lowsense_sim::protocol::{Protocol, SparseProtocol};
+use lowsense_sim::rng::SimRng;
+
+use crate::params::Params;
+use crate::window;
+
+/// Per-packet state of `LOW-SENSING BACKOFF`.
+///
+/// # Examples
+///
+/// ```
+/// use lowsense::{LowSensing, Params};
+/// use lowsense_sim::prelude::*;
+///
+/// let p = LowSensing::new(Params::default());
+/// assert_eq!(p.window(), 4.0);
+/// // Fresh packets send with probability exactly 1/w_min.
+/// assert!((p.send_probability() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowSensing {
+    params: Params,
+    w: f64,
+    // Cached per-slot probabilities; recomputed only on window changes.
+    p_listen: f64,
+    p_send_given_listen: f64,
+}
+
+impl LowSensing {
+    /// A freshly injected packet: window starts at `w_min`.
+    pub fn new(params: Params) -> Self {
+        Self::with_window(params, params.w_min())
+    }
+
+    /// A packet with an explicit starting window (clamped to `≥ w_min`);
+    /// used by tests and ablations.
+    pub fn with_window(params: Params, w: f64) -> Self {
+        let w = w.max(params.w_min());
+        let mut p = LowSensing {
+            params,
+            w,
+            p_listen: 0.0,
+            p_send_given_listen: 0.0,
+        };
+        p.recompute();
+        p
+    }
+
+    fn recompute(&mut self) {
+        self.p_listen = self.params.listen_probability(self.w);
+        self.p_send_given_listen = self.params.send_probability_given_listen(self.w);
+    }
+
+    /// Current window size `w_u(t)`.
+    #[inline]
+    pub fn window(&self) -> f64 {
+        self.w
+    }
+
+    /// The parameters this packet runs with.
+    #[inline]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Probability of accessing the channel (listening) this slot.
+    #[inline]
+    pub fn access_probability(&self) -> f64 {
+        self.p_listen
+    }
+}
+
+impl Protocol for LowSensing {
+    fn intent(&mut self, rng: &mut SimRng) -> Intent {
+        if !rng.bernoulli(self.p_listen) {
+            return Intent::Sleep;
+        }
+        if rng.bernoulli(self.p_send_given_listen) {
+            Intent::Send
+        } else {
+            Intent::Listen
+        }
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        match obs.feedback {
+            Feedback::Empty => self.w = window::back_on(&self.params, self.w),
+            Feedback::Noisy => self.w = window::back_off(&self.params, self.w),
+            // Someone else's success: no update (Figure 1 has rules only for
+            // silent and noisy slots). Our own success departs us anyway.
+            Feedback::Success => return,
+        }
+        self.recompute();
+    }
+
+    fn send_probability(&self) -> f64 {
+        self.p_listen * self.p_send_given_listen
+    }
+}
+
+impl SparseProtocol for LowSensing {
+    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
+        geometric(rng, self.p_listen)
+    }
+
+    fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
+        rng.bernoulli(self.p_send_given_listen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> LowSensing {
+        LowSensing::new(Params::default())
+    }
+
+    fn obs(feedback: Feedback) -> Observation {
+        Observation {
+            slot: 0,
+            feedback,
+            sent: false,
+            succeeded: false,
+        }
+    }
+
+    #[test]
+    fn send_probability_is_one_over_w() {
+        let mut p = fresh();
+        for _ in 0..200 {
+            assert!(
+                (p.send_probability() - 1.0 / p.window()).abs() < 1e-12,
+                "w={}",
+                p.window()
+            );
+            p.observe(&obs(Feedback::Noisy));
+        }
+    }
+
+    #[test]
+    fn noisy_grows_empty_shrinks_success_noops() {
+        let mut p = fresh();
+        let w0 = p.window();
+        p.observe(&obs(Feedback::Noisy));
+        let w1 = p.window();
+        assert!(w1 > w0);
+        p.observe(&obs(Feedback::Success));
+        assert_eq!(p.window(), w1, "success leaves the window unchanged");
+        p.observe(&obs(Feedback::Empty));
+        assert!(p.window() < w1);
+    }
+
+    #[test]
+    fn window_never_below_minimum() {
+        let mut p = fresh();
+        for _ in 0..50 {
+            p.observe(&obs(Feedback::Empty));
+            assert!(p.window() >= p.params().w_min());
+        }
+        assert_eq!(p.window(), p.params().w_min());
+    }
+
+    #[test]
+    fn intent_rates_match_probabilities() {
+        let mut p = LowSensing::with_window(Params::default(), 64.0);
+        let mut rng = SimRng::new(1);
+        let n = 400_000;
+        let (mut sends, mut listens) = (0u64, 0u64);
+        for _ in 0..n {
+            match p.intent(&mut rng) {
+                Intent::Send => sends += 1,
+                Intent::Listen => listens += 1,
+                Intent::Sleep => {}
+            }
+        }
+        let access_rate = (sends + listens) as f64 / n as f64;
+        let send_rate = sends as f64 / n as f64;
+        assert!(
+            (access_rate - p.access_probability()).abs() < 0.005,
+            "access {access_rate} vs {}",
+            p.access_probability()
+        );
+        assert!(
+            (send_rate - 1.0 / 64.0).abs() < 0.002,
+            "send {send_rate} vs {}",
+            1.0 / 64.0
+        );
+    }
+
+    #[test]
+    fn sparse_delay_matches_access_probability() {
+        let mut p = LowSensing::with_window(Params::default(), 64.0);
+        let mut rng = SimRng::new(2);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| p.next_access_delay(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (1.0 - p.access_probability()) / p.access_probability();
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn sparse_send_on_access_rate() {
+        let mut p = LowSensing::with_window(Params::default(), 64.0);
+        let mut rng = SimRng::new(3);
+        let n = 200_000;
+        let sends = (0..n).filter(|_| p.send_on_access(&mut rng)).count();
+        let rate = sends as f64 / n as f64;
+        let expect = p.params().send_probability_given_listen(64.0);
+        assert!((rate - expect).abs() < 0.005, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn listening_dominates_sending_at_large_windows() {
+        // "Fully energy-efficient" hinges on listens being rare too: the
+        // access probability c·ln³(w)/w vanishes as w grows.
+        let p = LowSensing::with_window(Params::default(), 1e6);
+        assert!(p.access_probability() < 0.002);
+        assert!(p.send_probability() < 2e-6);
+    }
+
+    #[test]
+    fn with_window_clamps() {
+        let p = LowSensing::with_window(Params::default(), 1.0);
+        assert_eq!(p.window(), 4.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Closed-form bounds from the paper, as comparable quantities.
+//!
+//! The theorems are asymptotic; experiments compare *shapes* against these
+//! functions (ratios should stay bounded across geometric sweeps, not match
+//! absolute constants).
+
+/// `ln^k(x + e)` — the polylog building block, shifted so it is ≥ 1 for all
+/// `x ≥ 0`.
+pub fn polylog(x: f64, k: i32) -> f64 {
+    (x + std::f64::consts::E).ln().powi(k)
+}
+
+/// Theorem 5.25: per-packet channel accesses against an adaptive (non-
+/// reactive) adversary are `O(ln⁴(N + J))`.
+pub fn energy_bound_finite(n: u64, j: u64) -> f64 {
+    polylog((n + j) as f64, 4)
+}
+
+/// Theorem 5.26 (worst case): against a reactive adversary a packet accesses
+/// the channel `O((J+1)·ln³(N+J) + ln⁴(N+J))` times.
+pub fn energy_bound_reactive(n: u64, j: u64) -> f64 {
+    let x = (n + j) as f64;
+    (j + 1) as f64 * polylog(x, 3) + polylog(x, 4)
+}
+
+/// Theorem 5.26 (average): mean accesses per packet are
+/// `O((J/N + 1)·ln⁴(N+J))`.
+pub fn energy_bound_reactive_avg(n: u64, j: u64) -> f64 {
+    let x = (n + j) as f64;
+    (j as f64 / n.max(1) as f64 + 1.0) * polylog(x, 4)
+}
+
+/// Theorem 5.18's interval length:
+/// `τ = (1/c_int)·max(w_max/ln²(w_max), √N)`.
+pub fn interval_length(w_max: f64, n: u64, c_int: f64) -> f64 {
+    let l = if w_max > 1.0 {
+        w_max / w_max.ln().powi(2)
+    } else {
+        0.0
+    };
+    l.max((n as f64).sqrt()) / c_int
+}
+
+/// Lemma 5.1 lower bound: `p_succ ≥ C·e^{−2C}` for unjammed slots with all
+/// windows ≥ 2.
+pub fn success_probability_lower(c: f64) -> f64 {
+    c * (-2.0 * c).exp()
+}
+
+/// Lemma 5.1 upper bound: `p_succ ≤ 2C·e^{−C}`.
+pub fn success_probability_upper(c: f64) -> f64 {
+    2.0 * c * (-c).exp()
+}
+
+/// Lemma 5.2: `e^{−2C} ≤ p_empty ≤ e^{−C}`.
+pub fn empty_probability_bounds(c: f64) -> (f64, f64) {
+    ((-2.0 * c).exp(), (-c).exp())
+}
+
+/// Lemma 5.3 lower bound: `p_noisy ≥ 1 − 2C·e^{−C} − e^{−C}`.
+pub fn noisy_probability_lower(c: f64) -> f64 {
+    (1.0 - 2.0 * c * (-c).exp() - (-c).exp()).max(0.0)
+}
+
+/// The classic `O(1/ln N)` throughput ceiling of binary exponential backoff
+/// on batch inputs (\[23\], quoted in §1) — the baseline curve T2 compares
+/// against.
+pub fn beb_throughput_envelope(n: u64) -> f64 {
+    1.0 / polylog(n as f64, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polylog_monotone_and_positive() {
+        assert!(polylog(0.0, 4) >= 1.0);
+        assert!(polylog(100.0, 4) > polylog(10.0, 4));
+        assert!(polylog(1e9, 2) > 0.0);
+    }
+
+    #[test]
+    fn energy_bounds_grow_slowly() {
+        let small = energy_bound_finite(1_000, 0);
+        let big = energy_bound_finite(1_000_000, 0);
+        // ln⁴ grows ≈ (ln(1e6)/ln(1e3))⁴ = 16× here, far below the 1000×
+        // input growth.
+        assert!(big / small < 20.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn reactive_bound_dominates_adaptive() {
+        for (n, j) in [(100u64, 0u64), (1000, 50), (10_000, 10_000)] {
+            assert!(energy_bound_reactive(n, j) >= energy_bound_finite(n, j));
+        }
+    }
+
+    #[test]
+    fn reactive_avg_scales_with_jam_ratio() {
+        let base = energy_bound_reactive_avg(1000, 0);
+        let jammed = energy_bound_reactive_avg(1000, 5000);
+        assert!(jammed > 5.0 * base);
+    }
+
+    #[test]
+    fn interval_length_switches_regimes() {
+        // Few packets, huge window: L dominates.
+        let l_dominated = interval_length(1e6, 4, 1.0);
+        assert!(l_dominated > 5000.0);
+        // Many packets, small window: √N dominates.
+        let n_dominated = interval_length(8.0, 10_000, 1.0);
+        assert!((n_dominated - 100.0).abs() < 1e-9);
+        // c_int scales inversely.
+        assert!((interval_length(8.0, 10_000, 2.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_probability_bounds_are_consistent() {
+        for c in [0.01, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert!(success_probability_lower(c) <= success_probability_upper(c));
+            let (lo, hi) = empty_probability_bounds(c);
+            assert!(lo <= hi);
+            // The three outcome classes cannot overfill the unit interval:
+            // lower bounds sum to ≤ 1.
+            let sum = success_probability_lower(c) + lo + noisy_probability_lower(c);
+            assert!(sum <= 1.0 + 1e-12, "c={c}: {sum}");
+        }
+    }
+
+    #[test]
+    fn success_probability_peaks_near_c_equals_one() {
+        // Both envelope curves peak at C = O(1): maximum of C·e^{-2C} is at
+        // C = 0.5, of 2C·e^{-C} at C = 1.
+        let peak_lo = success_probability_lower(0.5);
+        assert!(peak_lo > success_probability_lower(0.1));
+        assert!(peak_lo > success_probability_lower(2.0));
+        let peak_hi = success_probability_upper(1.0);
+        assert!(peak_hi > success_probability_upper(0.2));
+        assert!(peak_hi > success_probability_upper(4.0));
+    }
+
+    #[test]
+    fn beb_envelope_decays() {
+        assert!(beb_throughput_envelope(10) > beb_throughput_envelope(10_000));
+        assert!(beb_throughput_envelope(1 << 20) > 0.0);
+    }
+}

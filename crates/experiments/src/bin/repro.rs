@@ -1,0 +1,90 @@
+//! `repro` — regenerate every table and figure of the reproduction.
+//!
+//! ```text
+//! repro list                 # show the experiment index
+//! repro all                  # run everything at full scale
+//! repro t2 t4 f3             # run a subset
+//! repro all --quick          # reduced sweeps (what the benches print)
+//! repro all --csv out/       # also write one CSV per table
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use lowsense_experiments::{registry, Scale};
+
+fn usage() -> ! {
+    eprintln!("usage: repro <list|all|ID...> [--quick] [--csv DIR]");
+    eprintln!("       IDs: {}", ids().join(" "));
+    std::process::exit(2);
+}
+
+fn ids() -> Vec<String> {
+    registry().iter().map(|e| e.id.to_lowercase()).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::Full;
+    let mut csv_dir: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "list" => {
+                println!("{0:<4} {1:<45} reproduces", "id", "title");
+                for e in registry() {
+                    println!("{:<4} {:<45} {}", e.id, e.title, e.claim);
+                }
+                return;
+            }
+            "all" => selected = ids(),
+            id => selected.push(id.to_lowercase()),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    let reg = registry();
+    for id in &selected {
+        if !reg.iter().any(|e| e.id.to_lowercase() == *id) {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+
+    let total = Instant::now();
+    for e in reg {
+        if !selected.contains(&e.id.to_lowercase()) {
+            continue;
+        }
+        let started = Instant::now();
+        let tables = (e.run)(scale);
+        let elapsed = started.elapsed();
+        for t in &tables {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}.csv", t.id.to_lowercase());
+                let mut f = std::fs::File::create(&path).expect("create csv file");
+                f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            }
+        }
+        println!(
+            "[{} done in {:.1}s — reproduces {}]\n",
+            e.id,
+            elapsed.as_secs_f64(),
+            e.claim
+        );
+    }
+    println!("total: {:.1}s", total.elapsed().as_secs_f64());
+}

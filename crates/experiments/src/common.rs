@@ -1,0 +1,157 @@
+//! Shared measurement helpers used across experiments.
+
+use lowsense::{LowSensing, Params};
+use lowsense_sim::arrivals::ArrivalProcess;
+use lowsense_sim::config::{Limits, SimConfig};
+use lowsense_sim::engine::run_sparse;
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::Jammer;
+use lowsense_sim::metrics::{MetricsConfig, RunResult};
+use lowsense_stats::{quantile, Summary};
+
+/// Runs `LOW-SENSING BACKOFF` (default parameters) on the sparse engine.
+pub fn run_lsb<A, J>(arrivals: A, jammer: J, seed: u64, limits: Limits) -> RunResult
+where
+    A: ArrivalProcess,
+    J: Jammer,
+{
+    run_lsb_with(arrivals, jammer, seed, limits, MetricsConfig::default())
+}
+
+/// [`run_lsb`] with explicit metrics configuration.
+pub fn run_lsb_with<A, J>(
+    arrivals: A,
+    jammer: J,
+    seed: u64,
+    limits: Limits,
+    metrics: MetricsConfig,
+) -> RunResult
+where
+    A: ArrivalProcess,
+    J: Jammer,
+{
+    let cfg = SimConfig::new(seed).limits(limits).metrics(metrics);
+    run_sparse(
+        &cfg,
+        arrivals,
+        jammer,
+        |_| LowSensing::new(Params::default()),
+        &mut NoHooks,
+    )
+}
+
+/// Per-packet energy digest of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDigest {
+    /// Mean accesses per delivered packet.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl EnergyDigest {
+    /// Digests a run's per-packet access counts.
+    ///
+    /// Returns the zero digest when no packet was delivered or per-packet
+    /// stats were disabled.
+    pub fn of(result: &RunResult) -> Self {
+        let counts = result.access_counts();
+        if counts.is_empty() {
+            return EnergyDigest {
+                mean: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let (p50, _, p99, max) = lowsense_stats::tail_summary(&counts);
+        EnergyDigest {
+            mean: Summary::of_counts(&counts).mean,
+            p50,
+            p99,
+            max,
+        }
+    }
+
+    /// Pools several digests by averaging the means and taking the worst
+    /// tails (conservative aggregation across seeds).
+    pub fn pool(digests: &[EnergyDigest]) -> Self {
+        assert!(!digests.is_empty(), "pooling empty digest set");
+        EnergyDigest {
+            mean: digests.iter().map(|d| d.mean).sum::<f64>() / digests.len() as f64,
+            p50: quantile(&digests.iter().map(|d| d.p50).collect::<Vec<_>>(), 0.5),
+            p99: digests.iter().map(|d| d.p99).fold(0.0, f64::max),
+            max: digests.iter().map(|d| d.max).fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Mean of an iterator of `f64` (0 for empty).
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Geometric sweep `base^lo ..= base^hi` as `u64`s.
+pub fn pow2_sweep(lo: u32, hi: u32) -> Vec<u64> {
+    (lo..=hi).map(|k| 1u64 << k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowsense_sim::arrivals::Batch;
+    use lowsense_sim::jamming::NoJam;
+
+    #[test]
+    fn run_lsb_drains_batch() {
+        let r = run_lsb(Batch::new(64), NoJam, 1, Limits::default());
+        assert!(r.drained());
+    }
+
+    #[test]
+    fn energy_digest_orders() {
+        let r = run_lsb(Batch::new(256), NoJam, 2, Limits::default());
+        let d = EnergyDigest::of(&r);
+        assert!(d.mean > 0.0);
+        assert!(d.p50 <= d.p99 && d.p99 <= d.max);
+    }
+
+    #[test]
+    fn pool_takes_worst_tails() {
+        let a = EnergyDigest {
+            mean: 10.0,
+            p50: 9.0,
+            p99: 20.0,
+            max: 30.0,
+        };
+        let b = EnergyDigest {
+            mean: 20.0,
+            p50: 18.0,
+            p99: 25.0,
+            max: 28.0,
+        };
+        let p = EnergyDigest::pool(&[a, b]);
+        assert!((p.mean - 15.0).abs() < 1e-12);
+        assert_eq!(p.p99, 25.0);
+        assert_eq!(p.max, 30.0);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        assert_eq!(pow2_sweep(3, 6), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! A1 — Sweeping the constant `c`.
+//!
+//! The paper asks for "sufficiently large `c`"; practice asks how small it
+//! can be. Larger `c` means more listening (the access probability is
+//! `c·ln³(w)/w`) and gentler updates (`1 + 1/(c·ln w)`): faster, tighter
+//! feedback at higher energy. We sweep `c` on a fixed batch, with and
+//! without jamming, and report the throughput/energy trade-off.
+
+use lowsense::{LowSensing, Params};
+use lowsense_sim::arrivals::Batch;
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::engine::run_sparse;
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::{NoJam, RandomJam};
+
+use crate::common::{mean, EnergyDigest};
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n: u64 = scale.pick(1 << 10, 1 << 13);
+    // w_min = 4 requires c ≥ 1/ln³4 ≈ 0.375 for p_send|listen ≤ 1.
+    let cs = [0.4, 0.5, 0.75, 1.0, 2.0, 4.0];
+    let mut table = Table::new(
+        "A1",
+        format!("constant-c sweep (batch N={n}, w_min=4): throughput vs energy"),
+    )
+    .columns([
+        "c",
+        "jam",
+        "throughput",
+        "mean_accesses",
+        "max_accesses",
+        "listen_cap_ok",
+    ]);
+
+    for &c in &cs {
+        let params = Params::new(c, 4.0).expect("valid sweep point");
+        for jam in [false, true] {
+            let results = monte_carlo(
+                140_000 + (c * 100.0) as u64 + jam as u64,
+                scale.seeds(),
+                |seed| {
+                    let cfg = SimConfig::new(seed);
+                    if jam {
+                        run_sparse(
+                            &cfg,
+                            Batch::new(n),
+                            RandomJam::new(0.1),
+                            |_| LowSensing::new(params),
+                            &mut NoHooks,
+                        )
+                    } else {
+                        run_sparse(
+                            &cfg,
+                            Batch::new(n),
+                            NoJam,
+                            |_| LowSensing::new(params),
+                            &mut NoHooks,
+                        )
+                    }
+                },
+            );
+            let tp = mean(results.iter().map(|r| r.totals.throughput()));
+            let digest =
+                EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+            table.row(vec![
+                Cell::Float(c, 2),
+                Cell::text(if jam { "ρ=0.1" } else { "none" }),
+                Cell::Float(tp, 3),
+                Cell::Float(digest.mean, 1),
+                Cell::Float(digest.max, 0),
+                Cell::text(if params.respects_listen_cap() { "yes" } else { "clamped" }),
+            ]);
+        }
+    }
+
+    table.note(
+        "ablation: throughput is Θ(1) across the whole c range (the analysis only needs \
+         c large enough); energy grows roughly linearly with c — the paper's choice is \
+         about constants in the proof, not about performance",
+    );
+    table.note("c > 0.744 clamps the listen probability near w ≈ e³ (deviation from the idealized algorithm, flagged in the last column)");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_constant_energy_grows_with_c() {
+        let t = &run(Scale::Quick)[0];
+        let f = |row: &Vec<Cell>, i: usize| match row[i] {
+            Cell::Float(v, _) => v,
+            _ => panic!("float"),
+        };
+        // All throughputs positive and same order.
+        for row in &t.rows {
+            assert!(f(row, 2) > 0.05, "throughput collapsed: {row:?}");
+        }
+        // Energy at the largest c (no-jam rows) exceeds energy at smallest.
+        let nojam: Vec<&Vec<Cell>> = t
+            .rows
+            .iter()
+            .filter(|r| matches!(&r[1], Cell::Text(s) if s == "none"))
+            .collect();
+        assert!(f(nojam.last().unwrap(), 3) > f(nojam[0], 3));
+    }
+}

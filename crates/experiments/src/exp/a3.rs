@@ -1,0 +1,120 @@
+//! A3 — Gentle vs blunt multiplicative updates.
+//!
+//! The paper's update factor `1 + 1/(c·ln w)` vanishes as `w` grows. The
+//! obvious simplification — double/halve like classical backoff — interacts
+//! badly with rare listening: each observation moves the window a constant
+//! factor, so a few unlucky observations swing the send probability by
+//! orders of magnitude, and the 'herd' overshoots in both directions. We
+//! compare the paper's rule against constant factors under jamming.
+
+use lowsense_baselines::{LowSensingVariant, UpdateRule, VariantConfig};
+use lowsense_sim::arrivals::Batch;
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::engine::run_sparse;
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::{NoJam, RandomJam};
+
+use crate::common::{mean, EnergyDigest};
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n: u64 = scale.pick(1 << 10, 1 << 13);
+    let rules: Vec<(&str, UpdateRule)> = vec![
+        ("gentle 1+1/(c·ln w)", UpdateRule::Gentle),
+        ("factor 1.5", UpdateRule::Factor(1.5)),
+        ("factor 2.0", UpdateRule::Factor(2.0)),
+        ("factor 4.0", UpdateRule::Factor(4.0)),
+    ];
+    let mut table = Table::new(
+        "A3",
+        format!("window update rule (batch N={n}): gentle vs constant factor"),
+    )
+    .columns([
+        "rule",
+        "jam",
+        "throughput",
+        "mean_accesses",
+        "max_accesses",
+        "latency_p99",
+    ]);
+
+    for (ri, (name, rule)) in rules.iter().enumerate() {
+        let cfg = VariantConfig {
+            update: *rule,
+            ..VariantConfig::paper(0.5, 4.0)
+        };
+        for jam in [false, true] {
+            let results = monte_carlo(
+                160_000 + ri as u64 * 10 + jam as u64,
+                scale.seeds(),
+                |seed| {
+                    let sim = SimConfig::new(seed);
+                    if jam {
+                        run_sparse(
+                            &sim,
+                            Batch::new(n),
+                            RandomJam::new(0.15),
+                            |_| LowSensingVariant::new(cfg),
+                            &mut NoHooks,
+                        )
+                    } else {
+                        run_sparse(
+                            &sim,
+                            Batch::new(n),
+                            NoJam,
+                            |_| LowSensingVariant::new(cfg),
+                            &mut NoHooks,
+                        )
+                    }
+                },
+            );
+            let tp = mean(results.iter().map(|r| r.totals.throughput()));
+            let digest =
+                EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+            let lat_p99 = {
+                let mut all: Vec<u64> = results.iter().flat_map(|r| r.latencies()).collect();
+                if all.is_empty() {
+                    0.0
+                } else {
+                    all.sort_unstable();
+                    lowsense_stats::quantile_sorted(
+                        &all.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+                        0.99,
+                    )
+                }
+            };
+            table.row(vec![
+                Cell::text(*name),
+                Cell::text(if jam { "ρ=0.15" } else { "none" }),
+                Cell::Float(tp, 3),
+                Cell::Float(digest.mean, 1),
+                Cell::Float(digest.max, 0),
+                Cell::Float(lat_p99, 0),
+            ]);
+        }
+    }
+
+    table.note(
+        "ablation: blunt factors keep rough throughput on clean channels but degrade \
+         latency tails and energy under jamming — the gentle factor is what makes each \
+         observation's damage O(1/ln³w) of potential (Lemma 5.9)",
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_drains() {
+        let t = &run(Scale::Quick)[0];
+        for row in &t.rows {
+            if let Cell::Float(tp, _) = row[2] {
+                assert!(tp > 0.02, "throughput collapsed: {row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! A5 — Sweeping the minimum window `w_min`.
+//!
+//! `w_min` floors the window: it caps how aggressive a lone back-on packet
+//! can get (a solo packet at the floor sends every `~w_min` slots) and sets
+//! the contention a fresh batch starts at (`N/w_min`). Small floors speed
+//! up the end-game but make fresh bursts noisier; large floors waste the
+//! tail. The constraint `c·ln³(w_min) ≥ 1` couples the sweep to `c`, so we
+//! pick `c` per point as `max(0.5, 1.05/ln³(w_min))`.
+
+use lowsense::{LowSensing, Params};
+use lowsense_sim::arrivals::Batch;
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::engine::run_sparse;
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::NoJam;
+
+use crate::common::{mean, EnergyDigest};
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n: u64 = scale.pick(1 << 10, 1 << 13);
+    let w_mins: [f64; 6] = [3.0, 4.0, 8.0, 16.0, 64.0, 256.0];
+    let mut table = Table::new(
+        "A5",
+        format!("minimum-window sweep (batch N={n}): floor vs throughput/latency/energy"),
+    )
+    .columns([
+        "w_min",
+        "c",
+        "throughput",
+        "mean_accesses",
+        "latency_p99",
+        "tail_makespan",
+    ]);
+
+    for &w_min in &w_mins {
+        let c = (1.05 / w_min.ln().powi(3)).max(0.5);
+        let params = Params::new(c, w_min).expect("valid sweep point");
+        let results = monte_carlo(200_000 + w_min as u64, scale.seeds(), |seed| {
+            run_sparse(
+                &SimConfig::new(seed),
+                Batch::new(n),
+                NoJam,
+                |_| LowSensing::new(params),
+                &mut NoHooks,
+            )
+        });
+        let tp = mean(results.iter().map(|r| r.totals.throughput()));
+        let digest =
+            EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+        let lat_p99 = {
+            let mut all: Vec<f64> = results
+                .iter()
+                .flat_map(|r| r.latencies())
+                .map(|x| x as f64)
+                .collect();
+            all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            lowsense_stats::quantile_sorted(&all, 0.99)
+        };
+        // "Tail makespan": slots between the second-to-last and last
+        // success — the lone-packet end-game w_min dominates.
+        let tail = mean(results.iter().map(|r| {
+            let mut departs: Vec<u64> = r
+                .per_packet
+                .as_ref()
+                .expect("per-packet stats")
+                .iter()
+                .filter_map(|p| p.departed)
+                .collect();
+            departs.sort_unstable();
+            let k = departs.len();
+            if k >= 2 {
+                (departs[k - 1] - departs[k - 2]) as f64
+            } else {
+                0.0
+            }
+        }));
+        table.row(vec![
+            Cell::Float(w_min, 0),
+            Cell::Float(c, 3),
+            Cell::Float(tp, 3),
+            Cell::Float(digest.mean, 1),
+            Cell::Float(lat_p99, 0),
+            Cell::Float(tail, 1),
+        ]);
+    }
+
+    table.note(
+        "ablation: throughput is Θ(1) for every floor. The end-game (tail_makespan) is \
+         dominated by the last packet backing on from its mid-run window excursion, not \
+         by the floor itself; the floor's own ~w_min sending interval only shows at the \
+         largest floors, and the tightest tail belongs to w_min=3, where the c-constraint \
+         forces a larger c (faster feedback)",
+    );
+    table.note(
+        "the paper's 'sufficiently large w_min' is again about proof constants; \
+         performance is flat across two orders of magnitude of floor",
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_floors_keep_constant_throughput() {
+        let t = &run(Scale::Quick)[0];
+        for row in &t.rows {
+            if let Cell::Float(tp, _) = row[2] {
+                assert!(tp > 0.03, "throughput collapsed: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tails_are_positive_and_within_a_sane_band() {
+        // The tail is dominated by the last packet's back-on excursion (see
+        // table notes), so it is NOT monotone in w_min; assert it stays in
+        // a bounded band instead.
+        let t = &run(Scale::Quick)[0];
+        let tails: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|row| match row[5] {
+                Cell::Float(v, _) => v,
+                _ => panic!("float"),
+            })
+            .collect();
+        assert!(tails.iter().all(|&x| x > 0.0), "degenerate tail: {tails:?}");
+        let spread = tails.iter().cloned().fold(0.0f64, f64::max)
+            / tails.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 50.0, "tail spread {spread} out of band: {tails:?}");
+    }
+}

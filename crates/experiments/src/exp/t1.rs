@@ -1,0 +1,152 @@
+//! T1 — Implicit throughput over time (Theorem 1.3 / Corollary 5.21).
+//!
+//! The paper: at the t-th active slot, implicit throughput `(N_t+J_t)/S_t`
+//! is `Ω(1)` w.h.p. — uniformly over time, for any adaptive arrival/jamming
+//! pattern. We trace the metric at log-spaced active-slot checkpoints for
+//! five adversarial workloads and report the mean and worst value per
+//! checkpoint bucket; the reproduction succeeds if the minimum across the
+//! entire trace stays bounded away from 0.
+
+use std::collections::BTreeMap;
+
+use lowsense_sim::arrivals::{AdversarialQueuing, Batch, Bernoulli, Placement};
+use lowsense_sim::config::Limits;
+use lowsense_sim::jamming::{NoJam, RandomJam, WindowPrefixJam};
+use lowsense_sim::metrics::{MetricsConfig, RunResult};
+
+use crate::common::run_lsb_with;
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+
+type WorkloadFn = Box<dyn Fn(u64) -> RunResult + Sync + Send>;
+
+fn workloads(n: u64) -> Vec<(&'static str, WorkloadFn)> {
+    let metrics = MetricsConfig::default().with_series(1.6);
+    vec![
+        (
+            "batch",
+            Box::new(move |seed| {
+                run_lsb_with(Batch::new(n), NoJam, seed, Limits::default(), metrics)
+            }),
+        ),
+        (
+            "batch+jam(.15)",
+            Box::new(move |seed| {
+                run_lsb_with(
+                    Batch::new(n),
+                    RandomJam::new(0.15),
+                    seed,
+                    Limits::default(),
+                    metrics,
+                )
+            }),
+        ),
+        (
+            "bernoulli(.05)",
+            Box::new(move |seed| {
+                run_lsb_with(
+                    Bernoulli::new(0.05).with_total(n),
+                    NoJam,
+                    seed,
+                    Limits::default(),
+                    metrics,
+                )
+            }),
+        ),
+        (
+            "queuing(.10,S=256)",
+            Box::new(move |seed| {
+                run_lsb_with(
+                    AdversarialQueuing::new(0.10, 256, Placement::Front).with_total(n),
+                    NoJam,
+                    seed,
+                    Limits::default(),
+                    metrics,
+                )
+            }),
+        ),
+        (
+            "queuing+winjam",
+            Box::new(move |seed| {
+                run_lsb_with(
+                    AdversarialQueuing::new(0.08, 256, Placement::Front).with_total(n),
+                    WindowPrefixJam::new(0.05, 256),
+                    seed,
+                    Limits::default(),
+                    metrics,
+                )
+            }),
+        ),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n: u64 = scale.pick(1 << 10, 1 << 14);
+    let mut table = Table::new(
+        "T1",
+        format!("implicit throughput (N_t+J_t)/S_t at the t-th active slot, N={n}"),
+    )
+    .columns(["workload", "active_slots≈", "mean", "min"]);
+
+    let mut global_min = f64::INFINITY;
+    for (wi, (name, work)) in workloads(n).into_iter().enumerate() {
+        let runs = monte_carlo(1000 + wi as u64, scale.seeds(), work);
+        // Bucket checkpoints by log2(active slots) across seeds.
+        let mut buckets: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+        for r in &runs {
+            for p in &r.series {
+                let b = 63 - p.active_slots.max(1).leading_zeros();
+                buckets.entry(b).or_default().push(p.implicit_throughput());
+            }
+            // Final point (the overall throughput once drained).
+            let b = 63 - r.totals.active_slots.max(1).leading_zeros();
+            buckets
+                .entry(b)
+                .or_default()
+                .push(r.totals.implicit_throughput());
+        }
+        for (b, vals) in &buckets {
+            if *b < 3 {
+                continue; // skip the tiny-prefix noise (< 8 active slots)
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let min = vals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            global_min = global_min.min(min);
+            table.row(vec![
+                Cell::text(name),
+                Cell::UInt(1u64 << b),
+                Cell::Float(mean, 3),
+                Cell::Float(min, 3),
+            ]);
+        }
+    }
+    table.note(
+        "paper: Theorem 1.3 — implicit throughput is Ω(1) at every active slot, \
+         for every adaptive arrival/jam pattern",
+    );
+    table.note(format!(
+        "measured: min over all workloads/checkpoints (≥ 8 active slots) = {global_min:.3}; \
+         reproduction holds iff this is bounded away from 0"
+    ));
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows_and_positive_floor() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.rows.len() > 10);
+        // Every min cell is strictly positive.
+        for row in &t.rows {
+            if let Cell::Float(min, _) = row[3] {
+                assert!(min > 0.0, "implicit throughput hit zero");
+            }
+        }
+    }
+}

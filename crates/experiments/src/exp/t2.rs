@@ -1,0 +1,178 @@
+//! T2 — Overall throughput vs batch size, against every baseline
+//! (Corollary 1.4 + the §1 claim that BEB is `O(1/ln N)`).
+//!
+//! One row per batch size `N`; one column per protocol, giving the overall
+//! throughput `N/S` (mean over seeds). The paper's story:
+//!
+//! * `LOW-SENSING BACKOFF` and the every-slot-listening MWU stay `Θ(1)`;
+//! * both exponential-backoff variants and polynomial backoff decay with
+//!   `N` (the `O(1/ln N)` ceiling of \[23\]);
+//! * genie ALOHA (`p = 1/N`) starts near `1/e` per slot early on but wastes
+//!   its tail, so its *overall* throughput also degrades — it is a
+//!   reference, not a contender.
+
+use lowsense::{theory, LowSensing, Params};
+use lowsense_baselines::{
+    CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
+};
+use lowsense_sim::arrivals::Batch;
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::engine::{run_grouped, run_sparse};
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::NoJam;
+use lowsense_sim::metrics::MetricsConfig;
+
+use crate::common::{mean, pow2_sweep};
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::new(seed).metrics(MetricsConfig::totals_only())
+}
+
+fn tp_lsb(n: u64, seed: u64) -> f64 {
+    run_sparse(
+        &cfg(seed),
+        Batch::new(n),
+        NoJam,
+        |_| LowSensing::new(Params::default()),
+        &mut NoHooks,
+    )
+    .totals
+    .throughput()
+}
+
+fn tp_beb(n: u64, seed: u64) -> f64 {
+    run_sparse(
+        &cfg(seed),
+        Batch::new(n),
+        NoJam,
+        |rng| WindowedBeb::new(2, 40, rng),
+        &mut NoHooks,
+    )
+    .totals
+    .throughput()
+}
+
+fn tp_prob_beb(n: u64, seed: u64) -> f64 {
+    run_sparse(
+        &cfg(seed),
+        Batch::new(n),
+        NoJam,
+        |_| ProbBeb::new(0.5),
+        &mut NoHooks,
+    )
+    .totals
+    .throughput()
+}
+
+fn tp_poly(n: u64, seed: u64) -> f64 {
+    run_sparse(
+        &cfg(seed),
+        Batch::new(n),
+        NoJam,
+        |rng| PolynomialBackoff::new(2, 2, rng),
+        &mut NoHooks,
+    )
+    .totals
+    .throughput()
+}
+
+fn tp_aloha(n: u64, seed: u64) -> f64 {
+    run_sparse(
+        &cfg(seed),
+        Batch::new(n),
+        NoJam,
+        |_| SlottedAloha::genie(n),
+        &mut NoHooks,
+    )
+    .totals
+    .throughput()
+}
+
+fn tp_cjp(n: u64, seed: u64) -> f64 {
+    run_grouped(&cfg(seed), Batch::new(n), NoJam, |_| {
+        CjpMwu::new(CjpConfig::default())
+    })
+    .totals
+    .throughput()
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ns = pow2_sweep(6, scale.pick(10, 15));
+    let mut table = Table::new("T2", "overall throughput N/S on batch arrivals").columns([
+        "N",
+        "low-sensing",
+        "beb-window",
+        "beb-prob",
+        "poly(k=2)",
+        "aloha-genie",
+        "cjp-mwu",
+    ]);
+
+    let mut lsb_series = Vec::new();
+    let mut beb_series = Vec::new();
+    for &n in &ns {
+        let lsb = mean(monte_carlo(n, scale.seeds(), |s| tp_lsb(n, s)));
+        let beb = mean(monte_carlo(n + 1, scale.seeds(), |s| tp_beb(n, s)));
+        let pbeb = mean(monte_carlo(n + 2, scale.seeds(), |s| tp_prob_beb(n, s)));
+        let poly = mean(monte_carlo(n + 3, scale.seeds(), |s| tp_poly(n, s)));
+        let aloha = mean(monte_carlo(n + 4, scale.seeds(), |s| tp_aloha(n, s)));
+        let cjp = mean(monte_carlo(n + 5, scale.seeds(), |s| tp_cjp(n, s)));
+        lsb_series.push(lsb);
+        beb_series.push(beb);
+        table.row(vec![
+            Cell::UInt(n),
+            Cell::Float(lsb, 3),
+            Cell::Float(beb, 3),
+            Cell::Float(pbeb, 3),
+            Cell::Float(poly, 3),
+            Cell::Float(aloha, 3),
+            Cell::Float(cjp, 3),
+        ]);
+    }
+
+    let first = ns[0];
+    let last = *ns.last().expect("non-empty sweep");
+    table.note(format!(
+        "paper: Cor 1.4 — low-sensing throughput Θ(1); measured {:.3} → {:.3} across the sweep \
+         (flat = reproduced)",
+        lsb_series[0],
+        lsb_series.last().unwrap()
+    ));
+    table.note(format!(
+        "paper (§1, [23]): BEB is O(1/ln N); envelope 1/ln N = {:.3} → {:.3}; measured windowed \
+         BEB {:.3} → {:.3} (decaying = reproduced)",
+        theory::beb_throughput_envelope(first),
+        theory::beb_throughput_envelope(last),
+        beb_series[0],
+        beb_series.last().unwrap()
+    ));
+    table.note("aloha-genie knows N (unrealizable); early success rate ≈ 1/e, overall decays from tail waste");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_the_separation() {
+        let t = &run(Scale::Quick)[0];
+        // LSB flat-ish, BEB decaying: compare first and last rows.
+        let get = |row: &Vec<Cell>, idx: usize| match row[idx] {
+            Cell::Float(v, _) => v,
+            _ => panic!("expected float"),
+        };
+        let first = &t.rows[0];
+        let last = t.rows.last().unwrap();
+        let lsb_drop = get(first, 1) - get(last, 1);
+        let beb_drop = get(first, 2) - get(last, 2);
+        assert!(
+            beb_drop > lsb_drop,
+            "BEB should degrade faster: lsb {lsb_drop}, beb {beb_drop}"
+        );
+        assert!(get(last, 1) > 0.08, "LSB stays constant");
+    }
+}

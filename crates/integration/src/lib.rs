@@ -1,0 +1,1 @@
+//! Integration test host: sources live in the repository-root tests/ directory.

@@ -1,0 +1,641 @@
+//! Packet-arrival adversaries.
+//!
+//! The paper's adversary decides, for each slot, how many packets to inject
+//! (§1.1). This module provides the arrival strategies the experiments need:
+//! batches, stochastic streams, the *adversarial-queuing* model of
+//! Corollary 1.5 (rate `λ`, granularity `S`), explicit traces, and an
+//! adaptive strategy that reads the system state.
+//!
+//! # Contract
+//!
+//! Engines query [`ArrivalProcess::next_arrival`] with nondecreasing `after`
+//! values. For non-adaptive processes ([`ArrivalProcess::is_adaptive`]
+//! `== false`) every returned event is consumed exactly once, so processes
+//! may treat calls as consuming (e.g. decrement a remaining-packet budget).
+//! Adaptive processes are re-queried whenever the system state changes and
+//! must therefore derive any budget from the [`SystemView`] (e.g. from
+//! `view.totals.arrivals`) instead of internal counters.
+
+use crate::dist::geometric;
+use crate::rng::SimRng;
+use crate::time::{offset, Slot};
+use crate::view::SystemView;
+
+/// A strategy for injecting packets over time.
+pub trait ArrivalProcess {
+    /// Returns the next arrival event at or after slot `after`:
+    /// `(slot, packet count ≥ 1)`, or `None` if the process is exhausted.
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> Option<(Slot, u32)>;
+
+    /// Whether the process reads the system state (see module contract).
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    /// Total number of packets this process will ever inject, if known.
+    fn total_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// All `count` packets arrive in a single slot.
+///
+/// # Examples
+///
+/// ```
+/// use lowsense_sim::prelude::*;
+/// use lowsense_sim::metrics::Totals;
+///
+/// let totals = Totals::default();
+/// let view = SystemView { slot: 0, backlog: 0, contention: 0.0, totals: &totals };
+/// let mut rng = SimRng::new(1);
+/// let mut batch = Batch::new(100);
+/// assert_eq!(batch.next_arrival(0, &view, &mut rng), Some((0, 100)));
+/// assert_eq!(batch.next_arrival(1, &view, &mut rng), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batch {
+    at: Slot,
+    count: u64,
+    emitted: bool,
+}
+
+impl Batch {
+    /// `count` packets at slot 0 — the classical batch/static instance.
+    pub fn new(count: u64) -> Self {
+        Batch {
+            at: 0,
+            count,
+            emitted: false,
+        }
+    }
+
+    /// `count` packets at slot `at`.
+    pub fn at(at: Slot, count: u64) -> Self {
+        Batch {
+            at,
+            count,
+            emitted: false,
+        }
+    }
+}
+
+impl ArrivalProcess for Batch {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        if self.emitted || self.count == 0 || self.at < after {
+            return None;
+        }
+        self.emitted = true;
+        // Batches larger than u32 are emitted as one event of saturated size;
+        // experiments never exceed this.
+        Some((self.at, self.count.min(u32::MAX as u64) as u32))
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        Some(self.count)
+    }
+}
+
+/// An explicit arrival schedule: `(slot, count)` pairs in increasing slot
+/// order.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<(Slot, u32)>,
+    cursor: usize,
+}
+
+impl Trace {
+    /// Creates a trace from events sorted by slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots are not strictly increasing or any count is zero.
+    pub fn new(events: Vec<(Slot, u32)>) -> Self {
+        for w in events.windows(2) {
+            assert!(w[0].0 < w[1].0, "trace slots must be strictly increasing");
+        }
+        assert!(
+            events.iter().all(|&(_, c)| c > 0),
+            "trace counts must be positive"
+        );
+        Trace { events, cursor: 0 }
+    }
+}
+
+impl ArrivalProcess for Trace {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        while let Some(&(slot, count)) = self.events.get(self.cursor) {
+            self.cursor += 1;
+            if slot >= after {
+                return Some((slot, count));
+            }
+        }
+        None
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        Some(self.events.iter().map(|&(_, c)| c as u64).sum())
+    }
+}
+
+/// One packet per slot with probability `rate`, independently.
+#[derive(Debug, Clone)]
+pub struct Bernoulli {
+    rate: f64,
+    remaining: Option<u64>,
+    total: Option<u64>,
+}
+
+impl Bernoulli {
+    /// Unbounded Bernoulli(`rate`) stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate {rate} out of (0,1]");
+        Bernoulli {
+            rate,
+            remaining: None,
+            total: None,
+        }
+    }
+
+    /// Stops after `total` packets.
+    pub fn with_total(mut self, total: u64) -> Self {
+        self.remaining = Some(total);
+        self.total = Some(total);
+        self
+    }
+}
+
+impl ArrivalProcess for Bernoulli {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        _view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        let gap = geometric(rng, self.rate);
+        let slot = offset(after, gap);
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        Some((slot, 1))
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        self.total
+    }
+}
+
+/// `Poisson(rate)` packets per slot, independently.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate: f64,
+    remaining: Option<u64>,
+    total: Option<u64>,
+}
+
+impl PoissonArrivals {
+    /// Unbounded Poisson stream with mean `rate` packets per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        PoissonArrivals {
+            rate,
+            remaining: None,
+            total: None,
+        }
+    }
+
+    /// Stops once `total` packets have been injected (the final event is
+    /// truncated to fit).
+    pub fn with_total(mut self, total: u64) -> Self {
+        self.remaining = Some(total);
+        self.total = Some(total);
+        self
+    }
+}
+
+/// Samples `Poisson(lambda)` conditioned on being ≥ 1, by inverse transform
+/// on the truncated pmf (exact; O(result)).
+fn poisson_at_least_one(rng: &mut SimRng, lambda: f64) -> u64 {
+    let norm = -(-lambda).exp_m1(); // 1 - e^-λ
+    let u = rng.f64() * norm;
+    let mut term = lambda * (-lambda).exp();
+    let mut cum = term;
+    let mut k = 1u64;
+    while u >= cum && k < 10_000 {
+        k += 1;
+        term *= lambda / k as f64;
+        cum += term;
+    }
+    k
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        _view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        // A slot has ≥1 arrival with probability 1 - e^-λ; the gap to the
+        // next such slot is geometric, and the count there is a ≥1-truncated
+        // Poisson. Exact decomposition of the i.i.d. per-slot process.
+        let p_any = -(-self.rate).exp_m1();
+        let gap = geometric(rng, p_any);
+        let slot = offset(after, gap);
+        let mut count = poisson_at_least_one(rng, self.rate);
+        if let Some(r) = &mut self.remaining {
+            count = count.min(*r);
+            *r -= count;
+        }
+        Some((slot, count.min(u32::MAX as u64) as u32))
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        self.total
+    }
+}
+
+/// How an adversarial-queuing window distributes its packet budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The whole budget lands on the first slot of the window (burstiest).
+    Front,
+    /// The budget is spread evenly across the window.
+    Spread,
+    /// Each packet picks a uniformly random slot in the window.
+    Random,
+}
+
+/// Adversarial-queuing arrivals (paper §1.1, Corollary 1.5): in every window
+/// of `granularity` consecutive slots at most `rate · granularity` packets
+/// arrive, placed adversarially within the window.
+///
+/// Fractional budgets are carried across windows so the long-run rate is
+/// exactly `rate`.
+#[derive(Debug, Clone)]
+pub struct AdversarialQueuing {
+    rate: f64,
+    granularity: u64,
+    placement: Placement,
+    total: Option<u64>,
+    injected: u64,
+    window: u64,
+    /// Pending events for the current window, reverse-sorted by slot.
+    pending: Vec<(Slot, u32)>,
+}
+
+impl AdversarialQueuing {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate < 1` and `granularity ≥ 1`.
+    pub fn new(rate: f64, granularity: u64, placement: Placement) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate} out of (0,1)");
+        assert!(granularity >= 1, "granularity must be at least 1");
+        AdversarialQueuing {
+            rate,
+            granularity,
+            placement,
+            total: None,
+            injected: 0,
+            window: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Stops once `total` packets have been injected.
+    pub fn with_total(mut self, total: u64) -> Self {
+        self.total = Some(total);
+        self
+    }
+
+    /// Budget of window `w` with fractional carry: `⌊r·S·(w+1)⌋ − ⌊r·S·w⌋`.
+    fn window_budget(&self, w: u64) -> u64 {
+        let rs = self.rate * self.granularity as f64;
+        ((w + 1) as f64 * rs).floor() as u64 - (w as f64 * rs).floor() as u64
+    }
+
+    fn fill_window(&mut self, w: u64, rng: &mut SimRng) {
+        let mut budget = self.window_budget(w);
+        if let Some(total) = self.total {
+            budget = budget.min(total - self.injected);
+        }
+        if budget == 0 {
+            return;
+        }
+        let start = w * self.granularity;
+        let s = self.granularity;
+        match self.placement {
+            Placement::Front => self.pending.push((start, budget as u32)),
+            Placement::Spread => {
+                // One packet every S/budget slots (integer spacing).
+                let step = (s / budget).max(1);
+                let mut events: Vec<(Slot, u32)> = Vec::new();
+                for i in 0..budget {
+                    let slot = start + (i * step).min(s - 1);
+                    match events.last_mut() {
+                        Some((last, c)) if *last == slot => *c += 1,
+                        _ => events.push((slot, 1)),
+                    }
+                }
+                events.reverse();
+                self.pending = events;
+            }
+            Placement::Random => {
+                let mut slots: Vec<Slot> =
+                    (0..budget).map(|_| start + rng.range_u64(s)).collect();
+                slots.sort_unstable();
+                let mut events: Vec<(Slot, u32)> = Vec::new();
+                for slot in slots {
+                    match events.last_mut() {
+                        Some((last, c)) if *last == slot => *c += 1,
+                        _ => events.push((slot, 1)),
+                    }
+                }
+                events.reverse();
+                self.pending = events;
+            }
+        }
+        self.injected += budget;
+    }
+}
+
+impl ArrivalProcess for AdversarialQueuing {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        _view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        loop {
+            while let Some(&(slot, count)) = self.pending.last() {
+                self.pending.pop();
+                if slot >= after {
+                    return Some((slot, count));
+                }
+            }
+            if self.total.is_some_and(|t| self.injected >= t) {
+                return None;
+            }
+            // Advance to the window containing `after` (or the next one).
+            let w_after = after / self.granularity;
+            if self.window < w_after {
+                // Skip windows the engine has already passed; their budget
+                // is forfeited (slots went by without arrivals).
+                self.window = w_after;
+            }
+            let w = self.window;
+            self.window += 1;
+            self.fill_window(w, rng);
+            if self.pending.is_empty() && self.total.is_none() {
+                // Zero-budget window (rate·S < 1 with carry); keep rolling.
+                continue;
+            }
+        }
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        self.total
+    }
+}
+
+/// Adaptive strategy: inject a burst of `burst` packets whenever the system
+/// drains, keeping it permanently busy (up to `total` packets).
+///
+/// Derives its budget from `view.totals.arrivals` per the module contract.
+#[derive(Debug, Clone)]
+pub struct BacklogTriggered {
+    burst: u32,
+    total: u64,
+}
+
+impl BacklogTriggered {
+    /// Creates the strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst == 0`.
+    pub fn new(burst: u32, total: u64) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        BacklogTriggered { burst, total }
+    }
+}
+
+impl ArrivalProcess for BacklogTriggered {
+    fn next_arrival(
+        &mut self,
+        after: Slot,
+        view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> Option<(Slot, u32)> {
+        let injected = view.totals.arrivals;
+        if injected >= self.total {
+            return None;
+        }
+        if view.backlog > 0 {
+            // System busy: no injection planned yet; the engine re-queries
+            // after the next event.
+            return None;
+        }
+        let count = (self.total - injected).min(self.burst as u64) as u32;
+        Some((after, count))
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn total_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Totals;
+
+    fn view(totals: &Totals) -> SystemView<'_> {
+        SystemView {
+            slot: 0,
+            backlog: totals.arrivals - totals.successes,
+            contention: 0.0,
+            totals,
+        }
+    }
+
+    #[test]
+    fn batch_emits_once() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut b = Batch::new(100);
+        assert_eq!(b.next_arrival(0, &view(&totals), &mut rng), Some((0, 100)));
+        assert_eq!(b.next_arrival(1, &view(&totals), &mut rng), None);
+        assert_eq!(b.total_hint(), Some(100));
+    }
+
+    #[test]
+    fn batch_missed_slot_is_dropped() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut b = Batch::at(5, 10);
+        assert_eq!(b.next_arrival(6, &view(&totals), &mut rng), None);
+    }
+
+    #[test]
+    fn trace_in_order() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut t = Trace::new(vec![(2, 1), (5, 3), (9, 2)]);
+        assert_eq!(t.next_arrival(0, &view(&totals), &mut rng), Some((2, 1)));
+        assert_eq!(t.next_arrival(3, &view(&totals), &mut rng), Some((5, 3)));
+        assert_eq!(t.next_arrival(6, &view(&totals), &mut rng), Some((9, 2)));
+        assert_eq!(t.next_arrival(10, &view(&totals), &mut rng), None);
+        assert_eq!(Trace::new(vec![(2, 1), (5, 3), (9, 2)]).total_hint(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn trace_rejects_unsorted() {
+        Trace::new(vec![(5, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn bernoulli_rate_and_total() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(2);
+        let mut p = Bernoulli::new(0.1).with_total(1000);
+        let mut slot = 0;
+        let mut n = 0u64;
+        while let Some((s, c)) = p.next_arrival(slot, &view(&totals), &mut rng) {
+            assert!(s >= slot);
+            slot = s + 1;
+            n += c as u64;
+        }
+        assert_eq!(n, 1000);
+        // Empirical rate ≈ 0.1: 1000 packets over ~10000 slots.
+        let rate = n as f64 / slot as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_arrivals_rate() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(3);
+        let mut p = PoissonArrivals::new(0.5).with_total(20_000);
+        let mut slot = 0;
+        let mut n = 0u64;
+        while let Some((s, c)) = p.next_arrival(slot, &view(&totals), &mut rng) {
+            assert!(c >= 1);
+            slot = s + 1;
+            n += c as u64;
+        }
+        assert_eq!(n, 20_000);
+        let rate = n as f64 / slot as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_at_least_one_matches_conditional_mean() {
+        let mut rng = SimRng::new(4);
+        let lambda: f64 = 0.3;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| poisson_at_least_one(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = lambda / -(-lambda).exp_m1(); // λ / (1 - e^-λ)
+        assert!((mean - expect).abs() < 0.01, "mean {mean} expect {expect}");
+    }
+
+    #[test]
+    fn queuing_respects_window_budget() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(5);
+        for placement in [Placement::Front, Placement::Spread, Placement::Random] {
+            let (rate, s) = (0.25, 64u64);
+            let mut p = AdversarialQueuing::new(rate, s, placement).with_total(1600);
+            let mut slot = 0;
+            let mut per_window = std::collections::HashMap::new();
+            let mut n = 0u64;
+            while let Some((sl, c)) = p.next_arrival(slot, &view(&totals), &mut rng) {
+                *per_window.entry(sl / s).or_insert(0u64) += c as u64;
+                n += c as u64;
+                slot = sl + 1;
+            }
+            assert_eq!(n, 1600, "{placement:?}");
+            let cap = (rate * s as f64).ceil() as u64;
+            for (&w, &cnt) in &per_window {
+                assert!(cnt <= cap, "{placement:?}: window {w} got {cnt} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn queuing_fractional_budget_carries() {
+        // rate·S = 0.8 < 1: some windows inject 1, some 0, long-run ≈ 0.8/S.
+        let totals = Totals::default();
+        let mut rng = SimRng::new(6);
+        let mut p = AdversarialQueuing::new(0.08, 10, Placement::Front).with_total(80);
+        let mut slot = 0;
+        let mut n = 0u64;
+        while let Some((sl, c)) = p.next_arrival(slot, &view(&totals), &mut rng) {
+            n += c as u64;
+            slot = sl + 1;
+        }
+        assert_eq!(n, 80);
+        // 80 packets at ~0.8/window of 10 slots ⇒ about 1000 slots.
+        assert!((800..=1200).contains(&slot), "final slot {slot}");
+    }
+
+    #[test]
+    fn backlog_triggered_uses_view() {
+        let mut totals = Totals::default();
+        let mut rng = SimRng::new(7);
+        let mut p = BacklogTriggered::new(10, 25);
+        assert!(p.is_adaptive());
+        // Empty system: inject.
+        assert_eq!(p.next_arrival(0, &view(&totals), &mut rng), Some((0, 10)));
+        totals.arrivals = 10;
+        // Busy system: hold off.
+        assert_eq!(p.next_arrival(1, &view(&totals), &mut rng), None);
+        totals.successes = 10;
+        // Drained again: next burst.
+        assert_eq!(p.next_arrival(2, &view(&totals), &mut rng), Some((2, 10)));
+        totals.arrivals = 20;
+        totals.successes = 20;
+        // Final truncated burst.
+        assert_eq!(p.next_arrival(3, &view(&totals), &mut rng), Some((3, 5)));
+        totals.arrivals = 25;
+        totals.successes = 25;
+        assert_eq!(p.next_arrival(4, &view(&totals), &mut rng), None);
+    }
+}

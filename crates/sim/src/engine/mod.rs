@@ -1,0 +1,21 @@
+//! Simulation engines.
+//!
+//! Three engines share one semantics (the model of paper §1.1):
+//!
+//! * [`dense`] — slot-by-slot reference engine, `O(packets)` per slot. The
+//!   oracle the others are validated against.
+//! * [`sparse`] — event-driven engine for [`SparseProtocol`] implementations,
+//!   `O(log n)` per channel access; silent slots are skipped exactly.
+//! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
+//!   listen every slot, `O(groups)` per slot.
+//!
+//! [`SparseProtocol`]: crate::protocol::SparseProtocol
+//! [`SymmetricProtocol`]: grouped::SymmetricProtocol
+
+pub mod dense;
+pub mod grouped;
+pub mod sparse;
+
+pub use dense::run_dense;
+pub use grouped::{run_grouped, SymmetricProtocol};
+pub use sparse::run_sparse;

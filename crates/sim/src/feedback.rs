@@ -1,0 +1,167 @@
+//! Channel actions, ternary feedback, and slot outcomes (paper §1.1).
+
+use crate::packet::PacketId;
+use crate::time::Slot;
+
+/// What a listening packet hears about a slot — the *ternary feedback model*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    /// (0) No packet transmitted and the slot was not jammed.
+    Empty,
+    /// (1) Exactly one packet transmitted in an unjammed slot.
+    Success,
+    /// (2+) Two or more packets transmitted, or the slot was jammed.
+    ///
+    /// A listener cannot distinguish collision noise from jamming noise.
+    Noisy,
+}
+
+/// A packet's action in a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intent {
+    /// Do not access the channel; learn nothing.
+    Sleep,
+    /// Listen only. Costs one channel access.
+    Listen,
+    /// Transmit. Costs one channel access; the sender learns the slot
+    /// outcome implicitly (it either departs or observes noise).
+    Send,
+}
+
+impl Intent {
+    /// Whether this action touches the channel (send or listen).
+    #[inline]
+    pub fn accesses_channel(self) -> bool {
+        !matches!(self, Intent::Sleep)
+    }
+}
+
+/// Everything a packet learns about a slot it accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The slot observed.
+    pub slot: Slot,
+    /// Ternary feedback for the slot.
+    pub feedback: Feedback,
+    /// Whether this packet transmitted in the slot.
+    pub sent: bool,
+    /// Whether this packet's transmission succeeded (implies `sent`).
+    pub succeeded: bool,
+}
+
+/// Global resolution of one slot, as seen by an omniscient observer.
+///
+/// Protocols never see this; it feeds metrics, hooks, and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// At least one packet active, nobody transmitted, no jamming.
+    Empty,
+    /// Exactly one transmission, no jamming: the packet departs.
+    Success {
+        /// The packet that succeeded.
+        id: PacketId,
+    },
+    /// Two or more transmissions, no jamming.
+    Collision {
+        /// Number of simultaneous transmissions.
+        senders: u32,
+    },
+    /// The adversary jammed the slot (any number of senders fail).
+    Jammed {
+        /// Number of transmissions swallowed by the jam.
+        senders: u32,
+    },
+}
+
+impl SlotOutcome {
+    /// The ternary feedback a listener receives for this outcome.
+    #[inline]
+    pub fn feedback(&self) -> Feedback {
+        match self {
+            SlotOutcome::Empty => Feedback::Empty,
+            SlotOutcome::Success { .. } => Feedback::Success,
+            SlotOutcome::Collision { .. } | SlotOutcome::Jammed { .. } => Feedback::Noisy,
+        }
+    }
+
+    /// Whether the algorithm "used" the slot in the throughput sense
+    /// (a success, or a jammed slot which no algorithm could have used).
+    #[inline]
+    pub fn is_useful(&self) -> bool {
+        matches!(self, SlotOutcome::Success { .. } | SlotOutcome::Jammed { .. })
+    }
+}
+
+/// Resolves a slot given the sender set and the jamming decision.
+#[inline]
+pub fn resolve_slot(jammed: bool, senders: &[PacketId]) -> SlotOutcome {
+    if jammed {
+        SlotOutcome::Jammed {
+            senders: senders.len() as u32,
+        }
+    } else {
+        match senders {
+            [] => SlotOutcome::Empty,
+            [only] => SlotOutcome::Success { id: *only },
+            many => SlotOutcome::Collision {
+                senders: many.len() as u32,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_truth_table() {
+        let a = PacketId(0);
+        let b = PacketId(1);
+        assert_eq!(resolve_slot(false, &[]), SlotOutcome::Empty);
+        assert_eq!(resolve_slot(false, &[a]), SlotOutcome::Success { id: a });
+        assert_eq!(
+            resolve_slot(false, &[a, b]),
+            SlotOutcome::Collision { senders: 2 }
+        );
+        assert_eq!(resolve_slot(true, &[]), SlotOutcome::Jammed { senders: 0 });
+        assert_eq!(resolve_slot(true, &[a]), SlotOutcome::Jammed { senders: 1 });
+        assert_eq!(
+            resolve_slot(true, &[a, b]),
+            SlotOutcome::Jammed { senders: 2 }
+        );
+    }
+
+    #[test]
+    fn feedback_matches_model() {
+        assert_eq!(SlotOutcome::Empty.feedback(), Feedback::Empty);
+        assert_eq!(
+            SlotOutcome::Success { id: PacketId(3) }.feedback(),
+            Feedback::Success
+        );
+        assert_eq!(
+            SlotOutcome::Collision { senders: 2 }.feedback(),
+            Feedback::Noisy
+        );
+        // Jammed slots are full and noisy even with zero senders.
+        assert_eq!(
+            SlotOutcome::Jammed { senders: 0 }.feedback(),
+            Feedback::Noisy
+        );
+    }
+
+    #[test]
+    fn useful_slots() {
+        assert!(SlotOutcome::Success { id: PacketId(0) }.is_useful());
+        assert!(SlotOutcome::Jammed { senders: 0 }.is_useful());
+        assert!(!SlotOutcome::Empty.is_useful());
+        assert!(!SlotOutcome::Collision { senders: 2 }.is_useful());
+    }
+
+    #[test]
+    fn intent_channel_access() {
+        assert!(!Intent::Sleep.accesses_channel());
+        assert!(Intent::Listen.accesses_channel());
+        assert!(Intent::Send.accesses_channel());
+    }
+}

@@ -1,0 +1,139 @@
+//! Analysis hooks: observe a run without perturbing it.
+//!
+//! The engines are generic over a [`Hooks`] implementation that gets called
+//! at every state transition. This is how the `lowsense` crate's potential
+//! function `Φ(t)` (paper §4.2) is tracked incrementally without the
+//! simulator knowing anything about windows, and how tests assert engine
+//! invariants. [`NoHooks`] compiles to nothing.
+
+use crate::feedback::SlotOutcome;
+use crate::packet::PacketId;
+use crate::time::Slot;
+
+/// Callbacks invoked by the engines as the run evolves.
+///
+/// All methods have empty default bodies; implement only what you need.
+/// `P` is the protocol type, so hooks can inspect protocol state (e.g. a
+/// backoff window) before and after each observation.
+pub trait Hooks<P> {
+    /// A packet entered the system in slot `t` with initial state `state`.
+    fn on_inject(&mut self, t: Slot, id: PacketId, state: &P) {
+        let _ = (t, id, state);
+    }
+
+    /// A packet succeeded in slot `t`; `state` is its final state.
+    fn on_depart(&mut self, t: Slot, id: PacketId, state: &P) {
+        let _ = (t, id, state);
+    }
+
+    /// A packet observed slot `t`; `before`/`after` bracket the state
+    /// update its observation caused.
+    fn on_observe(&mut self, t: Slot, id: PacketId, before: &P, after: &P) {
+        let _ = (t, id, before, after);
+    }
+
+    /// Slot `t` resolved with `outcome` (called for event slots only in the
+    /// sparse engine; silent gaps arrive via [`Hooks::on_gap`]).
+    fn on_slot(&mut self, t: Slot, outcome: &SlotOutcome) {
+        let _ = (t, outcome);
+    }
+
+    /// The sparse engine skipped slots `[from, to)` during which no packet
+    /// accessed the channel and all per-packet state was constant;
+    /// `jammed` of them were jammed.
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        let _ = (from, to, jammed);
+    }
+}
+
+/// The trivial hook set: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoHooks;
+
+impl<P> Hooks<P> for NoHooks {}
+
+/// Combines two hook sets; both observe every event, in order.
+#[derive(Debug, Clone, Default)]
+pub struct Both<A, B>(pub A, pub B);
+
+impl<P, A: Hooks<P>, B: Hooks<P>> Hooks<P> for Both<A, B> {
+    fn on_inject(&mut self, t: Slot, id: PacketId, state: &P) {
+        self.0.on_inject(t, id, state);
+        self.1.on_inject(t, id, state);
+    }
+
+    fn on_depart(&mut self, t: Slot, id: PacketId, state: &P) {
+        self.0.on_depart(t, id, state);
+        self.1.on_depart(t, id, state);
+    }
+
+    fn on_observe(&mut self, t: Slot, id: PacketId, before: &P, after: &P) {
+        self.0.on_observe(t, id, before, after);
+        self.1.on_observe(t, id, before, after);
+    }
+
+    fn on_slot(&mut self, t: Slot, outcome: &SlotOutcome) {
+        self.0.on_slot(t, outcome);
+        self.1.on_slot(t, outcome);
+    }
+
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        self.0.on_gap(from, to, jammed);
+        self.1.on_gap(from, to, jammed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        injects: u32,
+        departs: u32,
+        observes: u32,
+        slots: u32,
+        gaps: u32,
+    }
+
+    impl Hooks<u8> for Counter {
+        fn on_inject(&mut self, _t: Slot, _id: PacketId, _s: &u8) {
+            self.injects += 1;
+        }
+        fn on_depart(&mut self, _t: Slot, _id: PacketId, _s: &u8) {
+            self.departs += 1;
+        }
+        fn on_observe(&mut self, _t: Slot, _id: PacketId, _b: &u8, _a: &u8) {
+            self.observes += 1;
+        }
+        fn on_slot(&mut self, _t: Slot, _o: &SlotOutcome) {
+            self.slots += 1;
+        }
+        fn on_gap(&mut self, _f: Slot, _t: Slot, _j: u64) {
+            self.gaps += 1;
+        }
+    }
+
+    #[test]
+    fn both_fans_out() {
+        let mut both = Both(Counter::default(), Counter::default());
+        Hooks::<u8>::on_inject(&mut both, 0, PacketId(0), &0);
+        Hooks::<u8>::on_depart(&mut both, 0, PacketId(0), &0);
+        Hooks::<u8>::on_observe(&mut both, 0, PacketId(0), &0, &1);
+        Hooks::<u8>::on_slot(&mut both, 0, &SlotOutcome::Empty);
+        Hooks::<u8>::on_gap(&mut both, 0, 5, 1);
+        for c in [&both.0, &both.1] {
+            assert_eq!(
+                (c.injects, c.departs, c.observes, c.slots, c.gaps),
+                (1, 1, 1, 1, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn no_hooks_is_callable() {
+        let mut h = NoHooks;
+        Hooks::<u8>::on_inject(&mut h, 0, PacketId(0), &0);
+        Hooks::<u8>::on_gap(&mut h, 0, 1, 0);
+    }
+}

@@ -1,0 +1,722 @@
+//! Jamming adversaries.
+//!
+//! A jammed slot is full and noisy: listeners hear noise and cannot tell it
+//! from a collision; senders fail (paper §1.1). The *adaptive* adversary
+//! decides jamming from state up to slot `t − 1`; a *reactive* adversary
+//! (§1.3) additionally sees which packets transmit in slot `t` itself —
+//! sending is detectable, listening is not.
+//!
+//! # Contract
+//!
+//! Engines call [`Jammer::jams`] at most once per resolved slot and
+//! [`Jammer::count_range`] once per skipped gap, in nondecreasing time order
+//! with disjoint ranges, so budgeted jammers may keep internal state.
+//! `count_range` is only invoked for gaps in which no packet accesses the
+//! channel, so the choice of *which* slots in the gap are jammed cannot
+//! affect any packet — only the `J_t` accounting.
+
+use crate::dist::Binomial;
+use crate::packet::PacketId;
+use crate::rng::SimRng;
+use crate::time::Slot;
+use crate::view::SystemView;
+
+/// A strategy for jamming slots.
+pub trait Jammer {
+    /// Whether slot `t` is jammed (adaptive decision, made "at the start of
+    /// the slot").
+    fn jams(&mut self, t: Slot, view: &SystemView<'_>, rng: &mut SimRng) -> bool;
+
+    /// Number of jammed slots in `[from, to)` given that no packet accesses
+    /// the channel anywhere in the range.
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> u64;
+
+    /// Reactive decision for slot `t`, taken *after* seeing the sender set.
+    /// Only consulted when [`Jammer::is_reactive`] returns `true`, and only
+    /// when [`Jammer::jams`] returned `false` for the slot.
+    fn reactive_jams(
+        &mut self,
+        t: Slot,
+        senders: &[PacketId],
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> bool {
+        let _ = (t, senders, view, rng);
+        false
+    }
+
+    /// Whether this adversary has a reactive component.
+    fn is_reactive(&self) -> bool {
+        false
+    }
+}
+
+/// Never jams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoJam;
+
+impl Jammer for NoJam {
+    fn jams(&mut self, _t: Slot, _view: &SystemView<'_>, _rng: &mut SimRng) -> bool {
+        false
+    }
+
+    fn count_range(
+        &mut self,
+        _from: Slot,
+        _to: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> u64 {
+        0
+    }
+}
+
+/// Jams each slot independently with probability `rho`.
+///
+/// # Examples
+///
+/// ```
+/// use lowsense_sim::prelude::*;
+/// use lowsense_sim::metrics::Totals;
+///
+/// let totals = Totals::default();
+/// let view = SystemView { slot: 0, backlog: 1, contention: 0.1, totals: &totals };
+/// let mut rng = SimRng::new(1);
+/// let mut jam = RandomJam::new(0.25);
+/// let hits = (0..10_000u64).filter(|&t| jam.jams(t, &view, &mut rng)).count();
+/// assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RandomJam {
+    rho: f64,
+}
+
+impl RandomJam {
+    /// Creates the jammer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rho <= 1`.
+    pub fn new(rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho {rho} out of [0,1]");
+        RandomJam { rho }
+    }
+}
+
+impl Jammer for RandomJam {
+    fn jams(&mut self, _t: Slot, _view: &SystemView<'_>, rng: &mut SimRng) -> bool {
+        rng.bernoulli(self.rho)
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        _view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> u64 {
+        Binomial::new(to - from, self.rho).sample(rng)
+    }
+}
+
+/// Deterministic periodic bursts: jams the first `burst_len` slots of every
+/// `period`-slot cycle, offset by `phase`.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicBurst {
+    period: u64,
+    burst_len: u64,
+    phase: u64,
+}
+
+impl PeriodicBurst {
+    /// Creates the jammer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < burst_len <= period`.
+    pub fn new(period: u64, burst_len: u64, phase: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(
+            burst_len > 0 && burst_len <= period,
+            "burst_len must be in 1..=period"
+        );
+        PeriodicBurst {
+            period,
+            burst_len,
+            phase: phase % period,
+        }
+    }
+
+    #[inline]
+    fn in_burst(&self, t: Slot) -> bool {
+        (t + self.period - self.phase) % self.period < self.burst_len
+    }
+
+    /// Jammed slots in `[0, n)` of the phase-0 pattern.
+    fn count_prefix(&self, n: u64) -> u64 {
+        let full = n / self.period;
+        let rem = n % self.period;
+        full * self.burst_len + rem.min(self.burst_len)
+    }
+}
+
+impl Jammer for PeriodicBurst {
+    fn jams(&mut self, t: Slot, _view: &SystemView<'_>, _rng: &mut SimRng) -> bool {
+        self.in_burst(t)
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> u64 {
+        // Shift so that bursts start at multiples of `period`.
+        let a = from + self.period - self.phase;
+        let b = to + self.period - self.phase;
+        self.count_prefix(b) - self.count_prefix(a)
+    }
+}
+
+/// Adversarial-queuing jamming: in every window of `granularity` slots, jams
+/// the leading `⌊rate·granularity⌋` slots (with fractional carry), mirroring
+/// the arrival-side budget of Corollary 1.5.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowPrefixJam {
+    rate: f64,
+    granularity: u64,
+}
+
+impl WindowPrefixJam {
+    /// Creates the jammer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1` and `granularity ≥ 1`.
+    pub fn new(rate: f64, granularity: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate {rate} out of [0,1)");
+        assert!(granularity >= 1);
+        WindowPrefixJam { rate, granularity }
+    }
+
+    /// Budget of window `w`: `⌊r·S·(w+1)⌋ − ⌊r·S·w⌋`.
+    #[inline]
+    fn budget(&self, w: u64) -> u64 {
+        let rs = self.rate * self.granularity as f64;
+        ((w + 1) as f64 * rs).floor() as u64 - (w as f64 * rs).floor() as u64
+    }
+
+    /// Jammed slots in `[0, n)`.
+    fn count_prefix(&self, n: u64) -> u64 {
+        let w = n / self.granularity;
+        let rem = n % self.granularity;
+        let rs = self.rate * self.granularity as f64;
+        let full = (w as f64 * rs).floor() as u64;
+        full + rem.min(self.budget(w))
+    }
+}
+
+impl Jammer for WindowPrefixJam {
+    fn jams(&mut self, t: Slot, _view: &SystemView<'_>, _rng: &mut SimRng) -> bool {
+        (t % self.granularity) < self.budget(t / self.granularity)
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> u64 {
+        self.count_prefix(to) - self.count_prefix(from)
+    }
+}
+
+/// Random jamming with a finite budget of `budget` jams.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetedRandomJam {
+    rho: f64,
+    remaining: u64,
+}
+
+impl BudgetedRandomJam {
+    /// Jams with probability `rho` per slot until `budget` jams are spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rho <= 1`.
+    pub fn new(rho: f64, budget: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho {rho} out of [0,1]");
+        BudgetedRandomJam {
+            rho,
+            remaining: budget,
+        }
+    }
+
+    /// Jams left in the budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Jammer for BudgetedRandomJam {
+    fn jams(&mut self, _t: Slot, _view: &SystemView<'_>, rng: &mut SimRng) -> bool {
+        if self.remaining > 0 && rng.bernoulli(self.rho) {
+            self.remaining -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        _view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> u64 {
+        let k = Binomial::new(to - from, self.rho)
+            .sample(rng)
+            .min(self.remaining);
+        self.remaining -= k;
+        k
+    }
+}
+
+/// Adaptive end-game jammer: jams with probability `rho` only while the
+/// backlog is at most `max_backlog`.
+///
+/// This targets the phase where few packets remain and each jam can stall a
+/// back-on — the adaptive strategy the potential-function analysis has to
+/// absorb via the `L(t)` term.
+#[derive(Debug, Clone, Copy)]
+pub struct BacklogJam {
+    rho: f64,
+    max_backlog: u64,
+    remaining: Option<u64>,
+}
+
+impl BacklogJam {
+    /// Creates the jammer (unbounded jam budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rho <= 1`.
+    pub fn new(rho: f64, max_backlog: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho {rho} out of [0,1]");
+        BacklogJam {
+            rho,
+            max_backlog,
+            remaining: None,
+        }
+    }
+
+    /// Caps the total number of jams. With an unbounded budget and a high
+    /// rate this adversary can stall the end-game forever (which the
+    /// throughput metric absorbs as jam credit); a finite budget lets runs
+    /// drain.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.remaining = Some(budget);
+        self
+    }
+
+    fn active(&self, view: &SystemView<'_>) -> bool {
+        view.backlog > 0
+            && view.backlog <= self.max_backlog
+            && self.remaining != Some(0)
+    }
+
+    fn spend(&mut self, k: u64) -> u64 {
+        match &mut self.remaining {
+            Some(r) => {
+                let k = k.min(*r);
+                *r -= k;
+                k
+            }
+            None => k,
+        }
+    }
+}
+
+impl Jammer for BacklogJam {
+    fn jams(&mut self, _t: Slot, view: &SystemView<'_>, rng: &mut SimRng) -> bool {
+        self.active(view) && rng.bernoulli(self.rho) && self.spend(1) == 1
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> u64 {
+        if self.active(view) {
+            let k = Binomial::new(to - from, self.rho).sample(rng);
+            self.spend(k)
+        } else {
+            0
+        }
+    }
+}
+
+/// Reactive adversary that targets one packet: jams exactly the slots in
+/// which `target` transmits, until the budget runs out (§1.3).
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveTargeted {
+    target: PacketId,
+    remaining: u64,
+}
+
+impl ReactiveTargeted {
+    /// Jams the first `budget` transmissions of `target`.
+    pub fn new(target: PacketId, budget: u64) -> Self {
+        ReactiveTargeted {
+            target,
+            remaining: budget,
+        }
+    }
+
+    /// Jams left in the budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Jammer for ReactiveTargeted {
+    fn jams(&mut self, _t: Slot, _view: &SystemView<'_>, _rng: &mut SimRng) -> bool {
+        false
+    }
+
+    fn count_range(
+        &mut self,
+        _from: Slot,
+        _to: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> u64 {
+        0
+    }
+
+    fn reactive_jams(
+        &mut self,
+        _t: Slot,
+        senders: &[PacketId],
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> bool {
+        if self.remaining > 0 && senders.contains(&self.target) {
+            self.remaining -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_reactive(&self) -> bool {
+        true
+    }
+}
+
+/// Reactive denial-of-service: jams every slot containing at least one
+/// transmission until the budget is spent — no packet can succeed while the
+/// budget lasts.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveAny {
+    remaining: u64,
+}
+
+impl ReactiveAny {
+    /// Jams the first `budget` transmission slots.
+    pub fn new(budget: u64) -> Self {
+        ReactiveAny { remaining: budget }
+    }
+
+    /// Jams left in the budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Jammer for ReactiveAny {
+    fn jams(&mut self, _t: Slot, _view: &SystemView<'_>, _rng: &mut SimRng) -> bool {
+        false
+    }
+
+    fn count_range(
+        &mut self,
+        _from: Slot,
+        _to: Slot,
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> u64 {
+        0
+    }
+
+    fn reactive_jams(
+        &mut self,
+        _t: Slot,
+        senders: &[PacketId],
+        _view: &SystemView<'_>,
+        _rng: &mut SimRng,
+    ) -> bool {
+        if self.remaining > 0 && !senders.is_empty() {
+            self.remaining -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_reactive(&self) -> bool {
+        true
+    }
+}
+
+/// Composes a base (adaptive) jammer with a reactive component: the slot is
+/// jammed if the base jams it, or — failing that — if the reactive component
+/// fires on the sender set.
+///
+/// The base side owns the silent-gap accounting (`count_range`), which is
+/// exact because reactive components by definition act only on slots with
+/// transmissions, and gaps have none. This is how the paper's strongest
+/// adversary — background noise *plus* a sniper (§1.3) — is expressed:
+///
+/// ```
+/// use lowsense_sim::prelude::*;
+/// use lowsense_sim::jamming::WithReactive;
+///
+/// let adversary = WithReactive::new(
+///     RandomJam::new(0.1),
+///     ReactiveTargeted::new(PacketId(0), 16),
+/// );
+/// assert!(adversary.is_reactive());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WithReactive<B, R> {
+    base: B,
+    reactive: R,
+}
+
+impl<B: Jammer, R: Jammer> WithReactive<B, R> {
+    /// Combines `base` (adaptive + gap accounting) with `reactive`.
+    pub fn new(base: B, reactive: R) -> Self {
+        WithReactive { base, reactive }
+    }
+
+    /// The reactive component (e.g. to read a remaining budget).
+    pub fn reactive(&self) -> &R {
+        &self.reactive
+    }
+}
+
+impl<B: Jammer, R: Jammer> Jammer for WithReactive<B, R> {
+    fn jams(&mut self, t: Slot, view: &SystemView<'_>, rng: &mut SimRng) -> bool {
+        self.base.jams(t, view, rng)
+    }
+
+    fn count_range(
+        &mut self,
+        from: Slot,
+        to: Slot,
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> u64 {
+        self.base.count_range(from, to, view, rng)
+    }
+
+    fn reactive_jams(
+        &mut self,
+        t: Slot,
+        senders: &[PacketId],
+        view: &SystemView<'_>,
+        rng: &mut SimRng,
+    ) -> bool {
+        self.reactive.reactive_jams(t, senders, view, rng)
+            || self.base.reactive_jams(t, senders, view, rng)
+    }
+
+    fn is_reactive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Totals;
+
+    fn dummy_view(totals: &Totals, backlog: u64) -> SystemView<'_> {
+        SystemView {
+            slot: 0,
+            backlog,
+            contention: 0.0,
+            totals,
+        }
+    }
+
+    #[test]
+    fn no_jam_never_jams() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut j = NoJam;
+        assert!(!j.jams(0, &dummy_view(&totals, 1), &mut rng));
+        assert_eq!(j.count_range(0, 1000, &dummy_view(&totals, 1), &mut rng), 0);
+        assert!(!j.is_reactive());
+    }
+
+    #[test]
+    fn random_jam_rate() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(2);
+        let mut j = RandomJam::new(0.3);
+        let v = dummy_view(&totals, 1);
+        let n = 100_000;
+        let hits = (0..n).filter(|&t| j.jams(t, &v, &mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        // Range counts match the same rate.
+        let c = j.count_range(0, 100_000, &v, &mut rng);
+        assert!((c as f64 / 1e5 - 0.3).abs() < 0.01, "range count {c}");
+    }
+
+    #[test]
+    fn periodic_burst_pattern_and_counts() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(3);
+        let v = dummy_view(&totals, 1);
+        let mut j = PeriodicBurst::new(10, 3, 2);
+        // Slots 2,3,4, 12,13,14, ... are jammed.
+        let jammed: Vec<Slot> = (0..25).filter(|&t| j.jams(t, &v, &mut rng)).collect();
+        assert_eq!(jammed, vec![2, 3, 4, 12, 13, 14, 22, 23, 24]);
+        // count_range agrees with per-slot enumeration on arbitrary ranges.
+        for (a, b) in [(0, 25), (3, 13), (5, 5), (2, 3), (17, 23)] {
+            let mut j2 = PeriodicBurst::new(10, 3, 2);
+            let expect = (a..b).filter(|&t| j2.jams(t, &v, &mut rng)).count() as u64;
+            assert_eq!(
+                j.count_range(a, b, &v, &mut rng),
+                expect,
+                "range [{a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn window_prefix_budget_and_counts() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(4);
+        let v = dummy_view(&totals, 1);
+        let mut j = WindowPrefixJam::new(0.25, 8);
+        // Budget 2 per window of 8: slots 0,1, 8,9, 16,17, ...
+        let jammed: Vec<Slot> = (0..20).filter(|&t| j.jams(t, &v, &mut rng)).collect();
+        assert_eq!(jammed, vec![0, 1, 8, 9, 16, 17]);
+        for (a, b) in [(0, 20), (1, 9), (2, 8), (9, 17)] {
+            let mut j2 = WindowPrefixJam::new(0.25, 8);
+            let expect = (a..b).filter(|&t| j2.jams(t, &v, &mut rng)).count() as u64;
+            assert_eq!(j.count_range(a, b, &v, &mut rng), expect, "[{a},{b})");
+        }
+    }
+
+    #[test]
+    fn window_prefix_fractional_carry() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(5);
+        let v = dummy_view(&totals, 1);
+        // rate·S = 0.5: every other window jams one slot.
+        let mut j = WindowPrefixJam::new(0.05, 10);
+        let total = j.count_range(0, 1000, &v, &mut rng);
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn budgeted_jam_exhausts() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(6);
+        let v = dummy_view(&totals, 1);
+        let mut j = BudgetedRandomJam::new(1.0, 5);
+        let hits = (0..100).filter(|&t| j.jams(t, &v, &mut rng)).count();
+        assert_eq!(hits, 5);
+        assert_eq!(j.remaining(), 0);
+        let mut j2 = BudgetedRandomJam::new(1.0, 7);
+        assert_eq!(j2.count_range(0, 100, &v, &mut rng), 7);
+        assert_eq!(j2.count_range(100, 200, &v, &mut rng), 0);
+    }
+
+    #[test]
+    fn backlog_jam_only_in_endgame() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(7);
+        let mut j = BacklogJam::new(1.0, 3);
+        assert!(!j.jams(0, &dummy_view(&totals, 0), &mut rng), "idle: no jam");
+        assert!(!j.jams(0, &dummy_view(&totals, 10), &mut rng), "crowded: no jam");
+        assert!(j.jams(0, &dummy_view(&totals, 2), &mut rng), "endgame: jam");
+        assert_eq!(j.count_range(0, 10, &dummy_view(&totals, 10), &mut rng), 0);
+        assert_eq!(j.count_range(0, 10, &dummy_view(&totals, 1), &mut rng), 10);
+    }
+
+    #[test]
+    fn backlog_jam_budget_exhausts() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(17);
+        let mut j = BacklogJam::new(1.0, 5).with_budget(7);
+        assert_eq!(j.count_range(0, 5, &dummy_view(&totals, 2), &mut rng), 5);
+        assert!(j.jams(5, &dummy_view(&totals, 2), &mut rng));
+        assert!(j.jams(6, &dummy_view(&totals, 2), &mut rng));
+        // Budget spent: no more jams anywhere.
+        assert!(!j.jams(7, &dummy_view(&totals, 2), &mut rng));
+        assert_eq!(j.count_range(8, 100, &dummy_view(&totals, 2), &mut rng), 0);
+    }
+
+    #[test]
+    fn reactive_targeted_hits_only_target() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(8);
+        let v = dummy_view(&totals, 2);
+        let mut j = ReactiveTargeted::new(PacketId(7), 2);
+        assert!(j.is_reactive());
+        assert!(!j.reactive_jams(0, &[PacketId(1)], &v, &mut rng));
+        assert!(j.reactive_jams(1, &[PacketId(1), PacketId(7)], &v, &mut rng));
+        assert!(j.reactive_jams(2, &[PacketId(7)], &v, &mut rng));
+        // Budget exhausted.
+        assert!(!j.reactive_jams(3, &[PacketId(7)], &v, &mut rng));
+        assert_eq!(j.remaining(), 0);
+    }
+
+    #[test]
+    fn with_reactive_composes_base_and_sniper() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(21);
+        let v = dummy_view(&totals, 2);
+        let mut j = WithReactive::new(
+            PeriodicBurst::new(4, 1, 0), // jams slots 0, 4, 8, …
+            ReactiveTargeted::new(PacketId(7), 1),
+        );
+        assert!(j.is_reactive());
+        // Base behaviour passes through.
+        assert!(j.jams(0, &v, &mut rng));
+        assert!(!j.jams(1, &v, &mut rng));
+        assert_eq!(j.count_range(0, 8, &v, &mut rng), 2);
+        // Reactive component fires on the target, once.
+        assert!(j.reactive_jams(1, &[PacketId(7)], &v, &mut rng));
+        assert!(!j.reactive_jams(2, &[PacketId(7)], &v, &mut rng));
+        assert_eq!(j.reactive().remaining(), 0);
+    }
+
+    #[test]
+    fn reactive_any_blocks_all_sends() {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(9);
+        let v = dummy_view(&totals, 2);
+        let mut j = ReactiveAny::new(1);
+        assert!(!j.reactive_jams(0, &[], &v, &mut rng), "no senders, no jam");
+        assert!(j.reactive_jams(1, &[PacketId(0)], &v, &mut rng));
+        assert!(!j.reactive_jams(2, &[PacketId(0)], &v, &mut rng));
+    }
+}

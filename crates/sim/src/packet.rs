@@ -1,0 +1,96 @@
+//! Packet identity and per-packet bookkeeping.
+
+use crate::time::Slot;
+
+/// Identifier of a packet, assigned densely in injection order starting at 0.
+///
+/// The id doubles as an index into per-packet tables, so lookups are O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The table index for this packet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Lifetime statistics of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketStats {
+    /// Slot in which the packet was injected.
+    pub injected: Slot,
+    /// Slot in which the packet succeeded, or `None` if still active when the
+    /// run stopped.
+    pub departed: Option<Slot>,
+    /// Number of slots in which the packet transmitted.
+    pub sends: u32,
+    /// Number of slots in which the packet listened *without* sending.
+    ///
+    /// Following the paper (§3 footnote), a sending packet learns the slot
+    /// outcome for free, so a send is a single channel access; `listens`
+    /// counts only pure listening accesses.
+    pub listens: u32,
+}
+
+impl PacketStats {
+    /// Creates stats for a packet injected at `slot`.
+    pub fn new(injected: Slot) -> Self {
+        PacketStats {
+            injected,
+            departed: None,
+            sends: 0,
+            listens: 0,
+        }
+    }
+
+    /// Total channel accesses (sends + pure listens). This is the paper's
+    /// energy measure.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.sends as u64 + self.listens as u64
+    }
+
+    /// Slots from injection to success (inclusive of the success slot), if
+    /// the packet completed.
+    pub fn latency(&self) -> Option<u64> {
+        self.departed.map(|d| d - self.injected + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_sums_sends_and_listens() {
+        let mut s = PacketStats::new(10);
+        s.sends = 3;
+        s.listens = 7;
+        assert_eq!(s.accesses(), 10);
+    }
+
+    #[test]
+    fn latency_requires_departure() {
+        let mut s = PacketStats::new(10);
+        assert_eq!(s.latency(), None);
+        s.departed = Some(10);
+        assert_eq!(s.latency(), Some(1)); // injected and succeeded same slot
+        s.departed = Some(14);
+        assert_eq!(s.latency(), Some(5));
+    }
+
+    #[test]
+    fn packet_id_display_and_index() {
+        let id = PacketId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "pkt#42");
+    }
+}

@@ -1,0 +1,29 @@
+//! Discrete time.
+//!
+//! The channel model divides time into synchronized slots, each wide enough
+//! for one packet transmission (paper §1.1). Slots are plain `u64` indices;
+//! the alias exists to keep signatures self-describing.
+
+/// Index of a time slot. Slot 0 is the first slot of the execution.
+pub type Slot = u64;
+
+/// Sentinel for "no such slot" / "never" in delay arithmetic.
+pub const NEVER: Slot = u64::MAX;
+
+/// Saturating `slot + delay`, mapping overflow to [`NEVER`].
+#[inline]
+pub fn offset(slot: Slot, delay: u64) -> Slot {
+    slot.saturating_add(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_saturates() {
+        assert_eq!(offset(5, 10), 15);
+        assert_eq!(offset(NEVER - 1, 10), NEVER);
+        assert_eq!(offset(3, NEVER), NEVER);
+    }
+}

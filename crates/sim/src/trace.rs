@@ -1,0 +1,250 @@
+//! Event tracing: a bounded in-memory log of everything that happened.
+//!
+//! [`EventLog`] is a [`Hooks`] implementation that records injections,
+//! observations, slot outcomes, gaps, and departures — capped at a
+//! configurable length so long runs cannot exhaust memory. It is the
+//! debugging companion for protocol implementations: run a small instance,
+//! dump the log, and read the execution slot by slot.
+//!
+//! ```
+//! use lowsense_sim::prelude::*;
+//! use lowsense_sim::trace::{Event, EventLog};
+//! use lowsense_sim::dist::geometric;
+//!
+//! #[derive(Clone)]
+//! struct Fixed(f64);
+//! impl Protocol for Fixed {
+//!     fn intent(&mut self, rng: &mut SimRng) -> Intent {
+//!         if rng.bernoulli(self.0) { Intent::Send } else { Intent::Sleep }
+//!     }
+//!     fn observe(&mut self, _obs: &Observation) {}
+//!     fn send_probability(&self) -> f64 { self.0 }
+//! }
+//! impl SparseProtocol for Fixed {
+//!     fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 { geometric(rng, self.0) }
+//!     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool { true }
+//! }
+//!
+//! let mut log = EventLog::new(1024);
+//! let _ = run_sparse(&SimConfig::new(1), Batch::new(2), NoJam, |_| Fixed(0.2), &mut log);
+//! assert!(log.events().any(|e| matches!(e, Event::Depart { .. })));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::feedback::SlotOutcome;
+use crate::hooks::Hooks;
+use crate::packet::PacketId;
+use crate::time::Slot;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A packet entered the system.
+    Inject {
+        /// Slot of injection.
+        slot: Slot,
+        /// The packet.
+        id: PacketId,
+    },
+    /// A packet left the system (successful transmission).
+    Depart {
+        /// Slot of success.
+        slot: Slot,
+        /// The packet.
+        id: PacketId,
+    },
+    /// A packet observed a slot it accessed.
+    Observe {
+        /// The observed slot.
+        slot: Slot,
+        /// The packet.
+        id: PacketId,
+    },
+    /// A slot resolved with the given outcome.
+    Slot {
+        /// The slot.
+        slot: Slot,
+        /// Its resolution.
+        outcome: SlotOutcome,
+    },
+    /// The engine skipped a silent range `[from, to)`.
+    Gap {
+        /// First skipped slot.
+        from: Slot,
+        /// One past the last skipped slot.
+        to: Slot,
+        /// Jammed slots inside the range.
+        jammed: u64,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Inject { slot, id } => write!(f, "[{slot}] inject {id}"),
+            Event::Depart { slot, id } => write!(f, "[{slot}] depart {id}"),
+            Event::Observe { slot, id } => write!(f, "[{slot}] observe {id}"),
+            Event::Slot { slot, outcome } => write!(f, "[{slot}] {outcome:?}"),
+            Event::Gap { from, to, jammed } => {
+                write!(f, "[{from}..{to}) silent gap ({jammed} jammed)")
+            }
+        }
+    }
+}
+
+/// A bounded event log; oldest events are evicted once `capacity` is
+/// reached.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        EventLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted due to the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained tail as one line per event.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} earlier events dropped …", self.dropped);
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
+impl<P> Hooks<P> for EventLog {
+    fn on_inject(&mut self, t: Slot, id: PacketId, _state: &P) {
+        self.push(Event::Inject { slot: t, id });
+    }
+
+    fn on_depart(&mut self, t: Slot, id: PacketId, _state: &P) {
+        self.push(Event::Depart { slot: t, id });
+    }
+
+    fn on_observe(&mut self, t: Slot, id: PacketId, _before: &P, _after: &P) {
+        self.push(Event::Observe { slot: t, id });
+    }
+
+    fn on_slot(&mut self, t: Slot, outcome: &SlotOutcome) {
+        self.push(Event::Slot {
+            slot: t,
+            outcome: *outcome,
+        });
+    }
+
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        self.push(Event::Gap { from, to, jammed });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hooks(log: &mut EventLog) -> &mut dyn Hooks<u8> {
+        log
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = EventLog::new(16);
+        hooks(&mut log).on_inject(0, PacketId(0), &0);
+        hooks(&mut log).on_slot(0, &SlotOutcome::Empty);
+        hooks(&mut log).on_gap(1, 5, 2);
+        hooks(&mut log).on_observe(5, PacketId(0), &0, &1);
+        hooks(&mut log).on_depart(5, PacketId(0), &1);
+        let events: Vec<&Event> = log.events().collect();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(events[0], Event::Inject { slot: 0, .. }));
+        assert!(matches!(events[4], Event::Depart { slot: 5, .. }));
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for t in 0..5 {
+            hooks(&mut log).on_slot(t, &SlotOutcome::Empty);
+        }
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.dropped(), 2);
+        // Oldest retained event is slot 2.
+        assert!(matches!(log.events().next(), Some(Event::Slot { slot: 2, .. })));
+    }
+
+    #[test]
+    fn dump_is_line_per_event() {
+        let mut log = EventLog::new(2);
+        for t in 0..3 {
+            hooks(&mut log).on_slot(t, &SlotOutcome::Empty);
+        }
+        let dump = log.dump();
+        assert!(dump.starts_with("… 1 earlier events dropped …"));
+        assert_eq!(dump.lines().count(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Event::Inject {
+                slot: 3,
+                id: PacketId(1)
+            }
+            .to_string(),
+            "[3] inject pkt#1"
+        );
+        assert_eq!(
+            Event::Gap {
+                from: 2,
+                to: 9,
+                jammed: 1
+            }
+            .to_string(),
+            "[2..9) silent gap (1 jammed)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

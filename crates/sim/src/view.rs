@@ -1,0 +1,52 @@
+//! The adversary's view of the system.
+//!
+//! The paper's *adaptive* adversary decides arrivals and jamming for slot `t`
+//! from the entire system state up to the end of slot `t − 1` (§1.1). The
+//! engines hand adversary strategies a [`SystemView`] carrying exactly that:
+//! aggregate state as of the end of the previous slot. Reactive jamming
+//! (§1.3) additionally sees the current slot's sender set, which the
+//! [`Jammer`](crate::jamming::Jammer) trait models separately.
+
+use crate::metrics::Totals;
+use crate::time::Slot;
+
+/// Read-only snapshot handed to arrival processes and jammers.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemView<'a> {
+    /// The slot the adversary is deciding about.
+    pub slot: Slot,
+    /// Number of packets currently in the system (as of end of `slot − 1`).
+    pub backlog: u64,
+    /// Current contention `C = Σ_u p_u` — the adaptive adversary knows all
+    /// packet state, so exposing the aggregate is sound.
+    pub contention: f64,
+    /// Cumulative counters up to the end of the previous slot.
+    pub totals: &'a Totals,
+}
+
+impl<'a> SystemView<'a> {
+    /// Whether any packet is active.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.backlog > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_activity() {
+        let totals = Totals::default();
+        let v = SystemView {
+            slot: 3,
+            backlog: 0,
+            contention: 0.0,
+            totals: &totals,
+        };
+        assert!(!v.is_active());
+        let v2 = SystemView { backlog: 2, ..v };
+        assert!(v2.is_active());
+    }
+}

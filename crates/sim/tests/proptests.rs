@@ -1,0 +1,230 @@
+//! Property tests for the simulator substrate: samplers match their
+//! distributions, deterministic jammers agree with their range counters,
+//! arrival processes honour their contracts, and the engines coincide
+//! exactly on deterministic protocols.
+
+use lowsense_sim::arrivals::{AdversarialQueuing, ArrivalProcess, Placement, Trace};
+use lowsense_sim::config::SimConfig;
+use lowsense_sim::dist::{geometric, poisson, Binomial};
+use lowsense_sim::engine::{run_dense, run_sparse};
+use lowsense_sim::feedback::{Intent, Observation};
+use lowsense_sim::hooks::NoHooks;
+use lowsense_sim::jamming::{Jammer, NoJam, PeriodicBurst, WindowPrefixJam};
+use lowsense_sim::metrics::Totals;
+use lowsense_sim::protocol::{Protocol, SparseProtocol};
+use lowsense_sim::rng::SimRng;
+use lowsense_sim::view::SystemView;
+use proptest::prelude::*;
+
+fn view(totals: &Totals) -> SystemView<'_> {
+    SystemView {
+        slot: 0,
+        backlog: 1,
+        contention: 0.0,
+        totals,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Geometric samples have the right head probability P(X = 0) = p.
+    #[test]
+    fn geometric_head_probability(p in 0.05f64..0.95, seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let n = 4_000;
+        let zeros = (0..n).filter(|_| geometric(&mut rng, p) == 0).count();
+        let rate = zeros as f64 / n as f64;
+        // 5 sigma of a Bernoulli(p) sample of 4000.
+        let sigma = (p * (1.0 - p) / n as f64).sqrt();
+        prop_assert!((rate - p).abs() < 5.0 * sigma + 0.01, "p={p}, rate={rate}");
+    }
+
+    /// Binomial samples stay in range and match the mean within 6σ.
+    #[test]
+    fn binomial_range_and_mean(
+        n in 1u64..50_000,
+        p in 0.0001f64..0.9999,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let d = Binomial::new(n, p);
+        let reps = 400;
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            let x = d.sample(&mut rng);
+            prop_assert!(x <= n);
+            sum += x;
+        }
+        let mean = sum as f64 / reps as f64;
+        let expect = n as f64 * p;
+        let sigma = (n as f64 * p * (1.0 - p) / reps as f64).sqrt();
+        prop_assert!(
+            (mean - expect).abs() < 6.0 * sigma + 0.05,
+            "n={n} p={p}: mean {mean} vs {expect}"
+        );
+    }
+
+    /// Poisson mean matches λ within 6σ (both regimes of the sampler).
+    #[test]
+    fn poisson_mean(lambda in 0.01f64..100.0, seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let reps = 500;
+        let sum: u64 = (0..reps).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = sum as f64 / reps as f64;
+        let sigma = (lambda / reps as f64).sqrt();
+        prop_assert!(
+            (mean - lambda).abs() < 6.0 * sigma + 0.05,
+            "λ={lambda}: mean {mean}"
+        );
+    }
+
+    /// Deterministic jammers: `count_range` equals the per-slot sum on
+    /// arbitrary ranges.
+    #[test]
+    fn periodic_burst_count_matches_enumeration(
+        period in 1u64..50,
+        burst in 1u64..50,
+        phase in 0u64..100,
+        a in 0u64..1_000,
+        len in 0u64..500,
+    ) {
+        prop_assume!(burst <= period);
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut j1 = PeriodicBurst::new(period, burst, phase);
+        let mut j2 = PeriodicBurst::new(period, burst, phase);
+        let b = a + len;
+        let by_range = j1.count_range(a, b, &view(&totals), &mut rng);
+        let by_slot = (a..b)
+            .filter(|&t| j2.jams(t, &view(&totals), &mut rng))
+            .count() as u64;
+        prop_assert_eq!(by_range, by_slot);
+    }
+
+    /// Same for the window-prefix (adversarial-queuing) jammer, including
+    /// fractional budgets.
+    #[test]
+    fn window_prefix_count_matches_enumeration(
+        rate in 0.0f64..0.99,
+        s in 1u64..64,
+        a in 0u64..2_000,
+        len in 0u64..700,
+    ) {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut j1 = WindowPrefixJam::new(rate, s);
+        let mut j2 = WindowPrefixJam::new(rate, s);
+        let b = a + len;
+        let by_range = j1.count_range(a, b, &view(&totals), &mut rng);
+        let by_slot = (a..b)
+            .filter(|&t| j2.jams(t, &view(&totals), &mut rng))
+            .count() as u64;
+        prop_assert_eq!(by_range, by_slot);
+    }
+
+    /// Adversarial-queuing arrivals: event slots are nondecreasing, window
+    /// budgets are respected, totals are exact.
+    #[test]
+    fn queuing_arrivals_contract(
+        rate in 0.01f64..0.9,
+        s in 1u64..128,
+        total in 1u64..400,
+        placement in prop_oneof![
+            Just(Placement::Front),
+            Just(Placement::Spread),
+            Just(Placement::Random)
+        ],
+        seed in 0u64..10_000,
+    ) {
+        let totals = Totals::default();
+        let mut rng = SimRng::new(seed);
+        let mut p = AdversarialQueuing::new(rate, s, placement).with_total(total);
+        let mut cursor = 0u64;
+        let mut injected = 0u64;
+        let mut per_window = std::collections::HashMap::new();
+        while let Some((slot, count)) = p.next_arrival(cursor, &view(&totals), &mut rng) {
+            prop_assert!(slot >= cursor, "event slot moved backwards");
+            prop_assert!(count >= 1);
+            cursor = slot + 1;
+            injected += count as u64;
+            *per_window.entry(slot / s).or_insert(0u64) += count as u64;
+        }
+        prop_assert_eq!(injected, total);
+        let cap = (rate * s as f64).ceil() as u64;
+        for (&w, &c) in &per_window {
+            prop_assert!(c <= cap.max(1), "window {w} got {c} > {cap}");
+        }
+    }
+
+    /// Trace arrivals replay exactly.
+    #[test]
+    fn trace_replays_exactly(events in proptest::collection::vec((0u64..10_000, 1u32..50), 0..20)) {
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.0);
+        sorted.dedup_by_key(|e| e.0);
+        let totals = Totals::default();
+        let mut rng = SimRng::new(1);
+        let mut t = Trace::new(sorted.clone());
+        let mut cursor = 0;
+        for &(slot, count) in &sorted {
+            let got = t.next_arrival(cursor, &view(&totals), &mut rng);
+            prop_assert_eq!(got, Some((slot, count)));
+            cursor = slot + 1;
+        }
+        prop_assert_eq!(t.next_arrival(cursor, &view(&totals), &mut rng), None);
+    }
+}
+
+/// A deterministic protocol consuming no randomness: both engines must
+/// produce *identical* executions, not merely statistically equal ones.
+#[derive(Clone)]
+struct Greedy;
+
+impl Protocol for Greedy {
+    fn intent(&mut self, _rng: &mut SimRng) -> Intent {
+        Intent::Send
+    }
+    fn observe(&mut self, _obs: &Observation) {}
+    fn send_probability(&self) -> f64 {
+        1.0
+    }
+}
+
+impl SparseProtocol for Greedy {
+    fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
+        0
+    }
+    fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact dense/sparse agreement on the deterministic protocol, for
+    /// arbitrary batch traces and horizons.
+    #[test]
+    fn engines_coincide_exactly_on_deterministic_protocol(
+        first in 1u32..5,
+        gap in 1u64..100,
+        second in 0u32..5,
+        horizon in 1u64..300,
+        seed in 0u64..1_000,
+    ) {
+        let mk_trace = || {
+            let mut v = vec![(0u64, first)];
+            if second > 0 {
+                v.push((gap, second));
+            }
+            Trace::new(v)
+        };
+        let cfg = SimConfig::new(seed)
+            .limits(lowsense_sim::config::Limits::until_slot(horizon));
+        let dense = run_dense(&cfg, mk_trace(), NoJam, |_| Greedy, &mut NoHooks);
+        let sparse = run_sparse(&cfg, mk_trace(), NoJam, |_| Greedy, &mut NoHooks);
+        prop_assert_eq!(dense.totals, sparse.totals);
+        prop_assert_eq!(dense.per_packet, sparse.per_packet);
+    }
+}

@@ -1,0 +1,122 @@
+//! Log-spaced histograms for heavy-tailed count data.
+
+/// A histogram with geometrically growing bucket edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// Upper edges of the buckets (exclusive); the last bucket is open.
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[0, ∞)` with buckets
+    /// `[0,1), [1, base), [base, base²), …` — `levels` geometric buckets
+    /// plus the open tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 1` and `levels ≥ 1`.
+    pub fn new(base: f64, levels: usize) -> Self {
+        assert!(base > 1.0, "base must exceed 1");
+        assert!(levels >= 1, "need at least one level");
+        let mut edges = Vec::with_capacity(levels + 1);
+        edges.push(1.0);
+        let mut e = 1.0;
+        for _ in 0..levels {
+            e *= base;
+            edges.push(e);
+        }
+        let buckets = edges.len() + 1; // plus the open tail
+        LogHistogram {
+            edges,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation (must be non-negative).
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x >= 0.0, "histogram values must be non-negative");
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| x < e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates `(lower, upper, count)` rows; `upper` is `f64::INFINITY`
+    /// for the tail bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| {
+            let lo = if i == 0 { 0.0 } else { self.edges[i - 1] };
+            let hi = self.edges.get(i).copied().unwrap_or(f64::INFINITY);
+            (lo, hi, self.counts[i])
+        })
+    }
+
+    /// Fraction of observations at or beyond `threshold`'s bucket.
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| threshold < e)
+            .unwrap_or(self.edges.len());
+        let tail: u64 = self.counts[idx..].iter().sum();
+        tail as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_geometric() {
+        let h = LogHistogram::new(2.0, 3);
+        let rows: Vec<_> = h.buckets().collect();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], (0.0, 1.0, 0));
+        assert_eq!(rows[1], (1.0, 2.0, 0));
+        assert_eq!(rows[2], (2.0, 4.0, 0));
+        assert_eq!(rows[3], (4.0, 8.0, 0));
+        assert_eq!(rows[4], (8.0, f64::INFINITY, 0));
+    }
+
+    #[test]
+    fn push_routes_to_buckets() {
+        let mut h = LogHistogram::new(2.0, 3);
+        for x in [0.0, 0.5, 1.0, 3.0, 7.9, 8.0, 100.0] {
+            h.push(x);
+        }
+        let counts: Vec<u64> = h.buckets().map(|(_, _, c)| c).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let mut h = LogHistogram::new(2.0, 3);
+        for x in [0.5, 1.5, 3.0, 9.0] {
+            h.push(x);
+        }
+        assert!((h.tail_fraction(8.0) - 0.25).abs() < 1e-12);
+        assert!((h.tail_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tail_fraction_is_zero() {
+        let h = LogHistogram::new(10.0, 2);
+        assert_eq!(h.tail_fraction(5.0), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Ordinary least squares on one predictor.
+
+/// Result of fitting `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Estimated slope.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 0 when the
+    /// model explains nothing; defined as 1 when `y` is constant and fitted
+    /// exactly).
+    pub r2: f64,
+}
+
+/// Fits `y ≈ a + b·x` by least squares.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than 2 points, or `x`
+/// is constant.
+pub fn ols(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        intercept,
+        slope,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = ols(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + if (x as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let f = ols(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r2 > 0.99 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_explained() {
+        let f = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_panics() {
+        ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn one_point_panics() {
+        ols(&[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Five-number summaries and online (Welford) accumulation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub sd: f64,
+    /// Standard error of the mean.
+    pub se: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice.
+    ///
+    /// Returns the degenerate all-zero summary for an empty slice.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut acc = Welford::new();
+        for &x in xs {
+            acc.push(x);
+        }
+        acc.summary()
+    }
+
+    /// Convenience: summarize integer counts.
+    pub fn of_counts(xs: &[u64]) -> Self {
+        let mut acc = Welford::new();
+        for &x in xs {
+            acc.push(x as f64);
+        }
+        acc.summary()
+    }
+}
+
+/// Numerically stable online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1; 0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Finalizes into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        if self.n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                sd: 0.0,
+                se: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let sd = self.variance().sqrt();
+        Summary {
+            n: self.n,
+            mean: self.mean,
+            sd,
+            se: sd / (self.n as f64).sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd of this classic set is sqrt(32/7).
+        assert!((s.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean - mean).abs() < 1e-9);
+        assert!((s.sd - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_convenience() {
+        let s = Summary::of_counts(&[1, 2, 3]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn se_shrinks_with_n() {
+        let a = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = [1.0, 2.0, 3.0, 4.0].repeat(100);
+        let b = Summary::of(&many);
+        assert!(b.se < a.se);
+    }
+}

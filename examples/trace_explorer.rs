@@ -1,0 +1,99 @@
+//! Trace explorer: dump a CSV of the herd's internal state over time.
+//!
+//! Writes `slot,backlog,contention,w_max,phi,regime` rows to stdout for a
+//! batch run — pipe into your plotting tool of choice to *see* the slow
+//! feedback loop settle the herd into the good-contention band.
+//!
+//! ```text
+//! cargo run --release -p lowsense-experiments --example trace_explorer -- [N] [SEED] > trace.csv
+//! ```
+
+use lowsense::{LowSensing, Params, PotentialTracker, Regime};
+use lowsense_sim::feedback::SlotOutcome;
+use lowsense_sim::hooks::Hooks;
+use lowsense_sim::packet::PacketId;
+use lowsense_sim::prelude::*;
+use lowsense_sim::time::Slot;
+
+/// Emits one CSV row per checkpoint, delegating state to a tracker.
+struct CsvTrace {
+    tracker: PotentialTracker,
+    every: u64,
+    since: u64,
+}
+
+impl CsvTrace {
+    fn emit(&mut self, slot: Slot) {
+        self.since += 1;
+        if self.since < self.every {
+            return;
+        }
+        self.since = 0;
+        let regime = match self.tracker.regime() {
+            Regime::Low => "low",
+            Regime::Good => "good",
+            Regime::High => "high",
+        };
+        println!(
+            "{slot},{},{:.4},{:.1},{:.2},{regime}",
+            self.tracker.packets(),
+            self.tracker.contention(),
+            self.tracker.w_max().unwrap_or(0.0),
+            self.tracker.phi(),
+        );
+    }
+}
+
+impl Hooks<LowSensing> for CsvTrace {
+    fn on_inject(&mut self, t: Slot, id: PacketId, s: &LowSensing) {
+        self.tracker.on_inject(t, id, s);
+    }
+    fn on_depart(&mut self, t: Slot, id: PacketId, s: &LowSensing) {
+        self.tracker.on_depart(t, id, s);
+    }
+    fn on_observe(&mut self, t: Slot, id: PacketId, b: &LowSensing, a: &LowSensing) {
+        self.tracker.on_observe(t, id, b, a);
+    }
+    fn on_slot(&mut self, t: Slot, o: &SlotOutcome) {
+        self.tracker.on_slot(t, o);
+        self.emit(t);
+    }
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        self.tracker.on_gap(from, to, jammed);
+        self.since += (to - from).saturating_sub(1);
+        self.emit(to - 1);
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(4096);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("SEED must be an integer"))
+        .unwrap_or(1);
+
+    println!("slot,backlog,contention,w_max,phi,regime");
+    let mut trace = CsvTrace {
+        tracker: PotentialTracker::default(),
+        every: (n / 256).max(1),
+        since: 0,
+    };
+    let result = run_sparse(
+        &SimConfig::new(seed),
+        Batch::new(n),
+        NoJam,
+        |_rng| LowSensing::new(Params::default()),
+        &mut trace,
+    );
+    eprintln!(
+        "# drained {} packets in {} active slots (throughput {:.3}); occupancy low/good/high = {:?}",
+        result.totals.successes,
+        result.totals.active_slots,
+        result.totals.throughput(),
+        trace.tracker.occupancy(),
+    );
+}

@@ -1,0 +1,119 @@
+//! End-to-end: every protocol × representative workloads, plus the
+//! experiment registry.
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::{
+    CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
+};
+use lowsense_sim::prelude::*;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::new(seed)
+}
+
+#[test]
+fn lsb_drains_all_workload_shapes() {
+    let n = 300u64;
+    let runs: Vec<RunResult> = vec![
+        run_sparse(&cfg(1), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks),
+        run_sparse(
+            &cfg(2),
+            Bernoulli::new(0.02).with_total(n),
+            NoJam,
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        ),
+        run_sparse(
+            &cfg(3),
+            PoissonArrivals::new(0.05).with_total(n),
+            NoJam,
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        ),
+        run_sparse(
+            &cfg(4),
+            AdversarialQueuing::new(0.1, 64, Placement::Random).with_total(n),
+            NoJam,
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        ),
+        run_sparse(
+            &cfg(5),
+            Trace::new(vec![(0, 100), (500, 100), (5000, 100)]),
+            NoJam,
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        ),
+        run_sparse(
+            &cfg(6),
+            BacklogTriggered::new(50, n),
+            NoJam,
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        ),
+    ];
+    for (i, r) in runs.iter().enumerate() {
+        assert!(r.drained(), "workload {i} did not drain");
+        assert_eq!(r.totals.arrivals, n, "workload {i} arrival count");
+        assert!(
+            r.totals.throughput() > 0.05,
+            "workload {i} throughput {}",
+            r.totals.throughput()
+        );
+    }
+}
+
+#[test]
+fn every_baseline_drains_a_batch() {
+    let n = 200u64;
+    assert!(run_sparse(&cfg(10), Batch::new(n), NoJam, |rng| WindowedBeb::new(2, 30, rng), &mut NoHooks).drained());
+    assert!(run_sparse(&cfg(11), Batch::new(n), NoJam, |_| ProbBeb::new(0.5), &mut NoHooks).drained());
+    assert!(run_sparse(&cfg(12), Batch::new(n), NoJam, |rng| PolynomialBackoff::new(2, 2, rng), &mut NoHooks).drained());
+    assert!(run_sparse(&cfg(13), Batch::new(n), NoJam, |_| SlottedAloha::genie(n), &mut NoHooks).drained());
+    assert!(run_grouped(&cfg(14), Batch::new(n), NoJam, |_| CjpMwu::new(CjpConfig::default())).drained());
+}
+
+#[test]
+fn lsb_beats_beb_on_large_batches() {
+    let n = 4096u64;
+    let lsb = run_sparse(&cfg(20), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks);
+    let beb = run_sparse(&cfg(20), Batch::new(n), NoJam, |rng| WindowedBeb::new(2, 30, rng), &mut NoHooks);
+    assert!(
+        lsb.totals.throughput() > 2.0 * beb.totals.throughput(),
+        "lsb {} vs beb {}",
+        lsb.totals.throughput(),
+        beb.totals.throughput()
+    );
+}
+
+#[test]
+fn registry_experiments_produce_well_formed_tables() {
+    // Run two cheap experiments end-to-end through the registry.
+    let registry = lowsense_experiments::registry();
+    for id in ["F3", "T9"] {
+        let e = registry.iter().find(|e| e.id == id).expect("registered");
+        let tables = (e.run)(lowsense_experiments::Scale::Quick);
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            assert!(!t.columns.is_empty());
+            assert!(!t.rows.is_empty());
+            for row in &t.rows {
+                assert_eq!(row.len(), t.columns.len());
+            }
+            // Render and CSV never panic and contain the id.
+            assert!(t.render().contains(&t.id));
+            assert!(t.to_csv().contains(','));
+        }
+    }
+}
+
+#[test]
+fn latencies_and_energy_are_recorded_for_all_delivered_packets() {
+    let n = 256u64;
+    let r = run_sparse(&cfg(30), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks);
+    assert_eq!(r.latencies().len(), n as usize);
+    assert_eq!(r.access_counts().len(), n as usize);
+    // Every packet sent at least once (its success).
+    let ps = r.per_packet.as_ref().unwrap();
+    assert!(ps.iter().all(|p| p.sends >= 1));
+}

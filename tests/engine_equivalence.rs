@@ -1,0 +1,189 @@
+//! Cross-engine equivalence: dense is the semantic oracle; sparse and
+//! grouped must agree with it statistically (they are different exact
+//! samplers of the same stochastic process).
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::{CjpConfig, CjpMwu, SlottedAloha, WindowedBeb};
+use lowsense_sim::prelude::*;
+
+const SEEDS: u64 = 10;
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Means across seeds must agree within `tol` relative error.
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() / a.abs().max(1e-9) < tol,
+        "{what}: {a} vs {b}"
+    );
+}
+
+#[test]
+fn lsb_dense_vs_sparse_active_slots_and_energy() {
+    let n = 150u64;
+    let dense: Vec<RunResult> = (0..SEEDS)
+        .map(|s| {
+            run_dense(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
+                LowSensing::new(Params::default())
+            }, &mut NoHooks)
+        })
+        .collect();
+    let sparse: Vec<RunResult> = (100..100 + SEEDS)
+        .map(|s| {
+            run_sparse(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
+                LowSensing::new(Params::default())
+            }, &mut NoHooks)
+        })
+        .collect();
+    assert_close(
+        mean(dense.iter().map(|r| r.totals.active_slots as f64)),
+        mean(sparse.iter().map(|r| r.totals.active_slots as f64)),
+        0.2,
+        "active slots",
+    );
+    assert_close(
+        mean(dense.iter().map(|r| r.totals.accesses() as f64)),
+        mean(sparse.iter().map(|r| r.totals.accesses() as f64)),
+        0.2,
+        "total accesses",
+    );
+    assert_close(
+        mean(dense.iter().map(|r| r.totals.empty_active as f64)),
+        mean(sparse.iter().map(|r| r.totals.empty_active as f64)),
+        0.25,
+        "empty slots",
+    );
+}
+
+#[test]
+fn lsb_dense_vs_sparse_under_jamming() {
+    let n = 100u64;
+    let d = mean((0..SEEDS).map(|s| {
+        run_dense(
+            &SimConfig::new(s),
+            Batch::new(n),
+            RandomJam::new(0.2),
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        )
+        .totals
+        .active_slots as f64
+    }));
+    let sp = mean((200..200 + SEEDS).map(|s| {
+        run_sparse(
+            &SimConfig::new(s),
+            Batch::new(n),
+            RandomJam::new(0.2),
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        )
+        .totals
+        .active_slots as f64
+    }));
+    assert_close(d, sp, 0.25, "jammed active slots");
+}
+
+#[test]
+fn beb_dense_vs_sparse() {
+    let n = 100u64;
+    let d = mean((0..SEEDS).map(|s| {
+        run_dense(&SimConfig::new(s), Batch::new(n), NoJam, |rng| {
+            WindowedBeb::new(2, 20, rng)
+        }, &mut NoHooks)
+        .totals
+        .active_slots as f64
+    }));
+    let sp = mean((300..300 + SEEDS).map(|s| {
+        run_sparse(&SimConfig::new(s), Batch::new(n), NoJam, |rng| {
+            WindowedBeb::new(2, 20, rng)
+        }, &mut NoHooks)
+        .totals
+        .active_slots as f64
+    }));
+    assert_close(d, sp, 0.25, "beb active slots");
+}
+
+#[test]
+fn cjp_dense_vs_grouped() {
+    let n = 120u64;
+    let d = mean((0..SEEDS).map(|s| {
+        run_dense(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
+            CjpMwu::new(CjpConfig::default())
+        }, &mut NoHooks)
+        .totals
+        .active_slots as f64
+    }));
+    let g = mean((400..400 + SEEDS).map(|s| {
+        run_grouped(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
+            CjpMwu::new(CjpConfig::default())
+        })
+        .totals
+        .active_slots as f64
+    }));
+    assert_close(d, g, 0.25, "cjp active slots");
+}
+
+#[test]
+fn lone_aloha_packet_latency_matches_closed_form() {
+    // One packet sending w.p. p per slot: E[latency] = 1/p exactly.
+    let p = 0.05;
+    for (engine, base) in [("dense", 0u64), ("sparse", 1000)] {
+        let lat = mean((base..base + 40).map(|s| {
+            let r = if engine == "dense" {
+                run_dense(&SimConfig::new(s), Batch::new(1), NoJam, |_| {
+                    SlottedAloha::new(p)
+                }, &mut NoHooks)
+            } else {
+                run_sparse(&SimConfig::new(s), Batch::new(1), NoJam, |_| {
+                    SlottedAloha::new(p)
+                }, &mut NoHooks)
+            };
+            r.latencies()[0] as f64
+        }));
+        assert!(
+            (lat - 1.0 / p).abs() / (1.0 / p) < 0.35,
+            "{engine}: mean latency {lat} vs {}",
+            1.0 / p
+        );
+    }
+}
+
+#[test]
+fn sparse_gap_accounting_is_exact_for_deterministic_jammer() {
+    // With a lone never-sending packet and a periodic jammer, the sparse
+    // engine's bulk gap accounting must be slot-exact.
+    #[derive(Clone)]
+    struct Mute;
+    impl Protocol for Mute {
+        fn intent(&mut self, _rng: &mut SimRng) -> Intent {
+            Intent::Sleep
+        }
+        fn observe(&mut self, _obs: &Observation) {}
+        fn send_probability(&self) -> f64 {
+            0.0
+        }
+    }
+    impl SparseProtocol for Mute {
+        fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
+            u64::MAX
+        }
+        fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
+            false
+        }
+    }
+    let cfg = SimConfig::new(1).limits(Limits::until_slot(9_999));
+    let r = run_sparse(
+        &cfg,
+        Batch::new(1),
+        PeriodicBurst::new(7, 2, 3),
+        |_| Mute,
+        &mut NoHooks,
+    );
+    assert_eq!(r.totals.active_slots, 10_000);
+    // Exact count of slots with (t - 3) mod 7 < 2 in [0, 10_000).
+    let expect = (0u64..10_000).filter(|t| (t + 7 - 3) % 7 < 2).count() as u64;
+    assert_eq!(r.totals.jammed_active, expect);
+}

@@ -1,0 +1,183 @@
+//! Jamming robustness: `LOW-SENSING BACKOFF` under every adversary in the
+//! arsenal, plus the asymmetries the paper predicts between it and
+//! exponential backoff.
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::WindowedBeb;
+use lowsense_sim::prelude::*;
+
+fn lsb(seed: u64) -> impl FnMut(&mut SimRng) -> LowSensing {
+    let _ = seed;
+    move |_rng| LowSensing::new(Params::default())
+}
+
+#[test]
+fn drains_under_every_bounded_jammer() {
+    let n = 200u64;
+    let throughputs = [
+        run_sparse(&SimConfig::new(1), Batch::new(n), RandomJam::new(0.3), lsb(1), &mut NoHooks),
+        run_sparse(&SimConfig::new(2), Batch::new(n), PeriodicBurst::new(16, 4, 0), lsb(2), &mut NoHooks),
+        run_sparse(&SimConfig::new(3), Batch::new(n), BudgetedRandomJam::new(0.5, 500), lsb(3), &mut NoHooks),
+        run_sparse(&SimConfig::new(4), Batch::new(n), BacklogJam::new(0.6, 10).with_budget(800), lsb(4), &mut NoHooks),
+        run_sparse(&SimConfig::new(5), Batch::new(n), ReactiveAny::new(300), lsb(5), &mut NoHooks),
+        run_sparse(&SimConfig::new(6), Batch::new(n), ReactiveTargeted::new(PacketId(0), 50), lsb(6), &mut NoHooks),
+        run_sparse(&SimConfig::new(7), Batch::new(n), WindowPrefixJam::new(0.2, 32), lsb(7), &mut NoHooks),
+    ];
+    for (i, r) in throughputs.iter().enumerate() {
+        assert!(r.drained(), "jammer {i}: did not drain");
+        assert!(
+            r.totals.throughput() > 0.08,
+            "jammer {i}: throughput {}",
+            r.totals.throughput()
+        );
+    }
+}
+
+#[test]
+fn jam_credit_keeps_throughput_constant_as_jamming_scales() {
+    // (T+J)/S stays in a narrow band as the jam rate rises — Cor 1.4's
+    // definition absorbs the adversary's wasted slots.
+    //
+    // Rates stay below 1/2: at ρ ≥ 1/2 sustained forever, a lone packet's
+    // window performs a non-returning multiplicative random walk (noise is
+    // at least as likely as silence even on an idle channel), so the run
+    // may never drain. The theorems still hold there — J_t → ∞ keeps the
+    // implicit throughput Ω(1) — but a drain assertion would be wrong.
+    let n = 400u64;
+    let mut tps = Vec::new();
+    for (i, rho) in [0.0, 0.15, 0.3, 0.4].iter().enumerate() {
+        let r = if *rho == 0.0 {
+            run_sparse(&SimConfig::new(i as u64), Batch::new(n), NoJam, lsb(0), &mut NoHooks)
+        } else {
+            run_sparse(
+                &SimConfig::new(i as u64),
+                Batch::new(n),
+                RandomJam::new(*rho),
+                lsb(0),
+                &mut NoHooks,
+            )
+        };
+        assert!(r.drained());
+        tps.push(r.totals.throughput());
+    }
+    let max = tps.iter().cloned().fold(0.0f64, f64::max);
+    let min = tps.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min < 4.0,
+        "throughput band too wide under jamming: {tps:?}"
+    );
+}
+
+#[test]
+fn clean_throughput_degrades_gracefully_not_catastrophically() {
+    // The paper only guarantees (T+J)/S; the *clean* T/S necessarily decays
+    // with the jam rate (jammed slots are lost) and, near ρ = 1/2, the last
+    // packet's window excursions stretch S further. "Graceful" here means:
+    // averaged over seeds, clean throughput keeps a positive floor at a
+    // moderate rate, while the credited throughput stays constant.
+    let n = 300u64;
+    let seeds = 6u64;
+    let mut clean = 0.0;
+    let mut credited = 0.0;
+    for seed in 0..seeds {
+        let r = run_sparse(
+            &SimConfig::new(seed),
+            Batch::new(n),
+            RandomJam::new(0.35),
+            lsb(seed),
+            &mut NoHooks,
+        );
+        assert!(r.drained(), "seed {seed} did not drain");
+        clean += r.totals.clean_throughput() / seeds as f64;
+        credited += r.totals.throughput() / seeds as f64;
+    }
+    assert!(clean > 0.02, "mean clean throughput {clean}");
+    assert!(credited > 0.2, "mean credited throughput {credited}");
+}
+
+#[test]
+fn reactive_sniper_hurts_beb_exponentially_more_than_lsb() {
+    let budget = 10u64;
+    let mean = |f: &dyn Fn(u64) -> f64| (0..8).map(f).sum::<f64>() / 8.0;
+    let lsb_delay = mean(&|s| {
+        run_sparse(
+            &SimConfig::new(s),
+            Batch::new(1),
+            ReactiveTargeted::new(PacketId(0), budget),
+            |_| LowSensing::new(Params::default()),
+            &mut NoHooks,
+        )
+        .totals
+        .active_slots as f64
+    });
+    let beb_delay = mean(&|s| {
+        run_sparse(
+            &SimConfig::new(s),
+            Batch::new(1),
+            ReactiveTargeted::new(PacketId(0), budget),
+            |rng| WindowedBeb::new(2, 40, rng),
+            &mut NoHooks,
+        )
+        .totals
+        .active_slots as f64
+    });
+    assert!(
+        beb_delay > 5.0 * lsb_delay,
+        "beb {beb_delay} vs lsb {lsb_delay}"
+    );
+    // BEB's delay is Θ(2^b): within a generous constant of 2^10.
+    let ratio = beb_delay / (1u64 << budget) as f64;
+    assert!(
+        (0.3..10.0).contains(&ratio),
+        "beb delay {beb_delay} not Θ(2^{budget})"
+    );
+}
+
+#[test]
+fn survives_background_noise_plus_reactive_sniper() {
+    // The paper's strongest §1.3 adversary shape: ambient random jamming
+    // composed with a reactive sniper on one packet.
+    let n = 200u64;
+    let r = run_sparse(
+        &SimConfig::new(11),
+        Batch::new(n),
+        WithReactive::new(
+            RandomJam::new(0.15),
+            ReactiveTargeted::new(PacketId(0), 40),
+        ),
+        lsb(11),
+        &mut NoHooks,
+    );
+    assert!(r.drained());
+    assert!(r.totals.throughput() > 0.1, "{}", r.totals.throughput());
+    // The sniped packet still completes, paying extra accesses.
+    let ps = r.per_packet.as_ref().unwrap();
+    assert!(ps[0].departed.is_some());
+    let avg = r.access_counts().iter().sum::<u64>() as f64 / n as f64;
+    assert!(
+        ps[0].accesses() as f64 > avg,
+        "target {} should pay above the average {avg}",
+        ps[0].accesses()
+    );
+}
+
+#[test]
+fn jammed_slot_counts_are_consistent() {
+    let n = 100u64;
+    let r = run_sparse(
+        &SimConfig::new(10),
+        Batch::new(n),
+        RandomJam::new(0.25),
+        lsb(10),
+        &mut NoHooks,
+    );
+    let t = &r.totals;
+    // Partition invariant.
+    assert_eq!(
+        t.active_slots,
+        t.empty_active + t.successes + t.collision_slots + t.jammed_active
+    );
+    // Jam fraction near the configured rate.
+    let frac = t.jammed_active as f64 / t.active_slots as f64;
+    assert!((frac - 0.25).abs() < 0.08, "jam fraction {frac}");
+}

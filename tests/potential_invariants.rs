@@ -1,0 +1,175 @@
+//! Potential-function invariants: the incremental tracker must agree with
+//! brute-force recomputation at all times, and the interval recorder must
+//! tile the execution exactly.
+
+use lowsense::{IntervalRecorder, LowSensing, Params, PotentialTracker};
+use lowsense_sim::feedback::SlotOutcome;
+use lowsense_sim::hooks::Hooks;
+use lowsense_sim::packet::PacketId;
+use lowsense_sim::prelude::*;
+use lowsense_sim::time::Slot;
+
+/// Runs the incremental tracker and an exhaustive oracle side by side,
+/// cross-checking every few slots.
+struct OracleCheck {
+    tracker: PotentialTracker,
+    windows: Vec<Option<f64>>,
+    slots_seen: u64,
+    checks: u64,
+}
+
+impl OracleCheck {
+    fn new() -> Self {
+        OracleCheck {
+            tracker: PotentialTracker::default(),
+            windows: Vec::new(),
+            slots_seen: 0,
+            checks: 0,
+        }
+    }
+
+    fn verify(&mut self) {
+        self.checks += 1;
+        let live: Vec<f64> = self.windows.iter().flatten().copied().collect();
+        let n = live.len() as u64;
+        let h: f64 = live.iter().map(|w| 1.0 / w.ln()).sum();
+        let c: f64 = live.iter().map(|w| 1.0 / w).sum();
+        let wmax = live.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(self.tracker.packets(), n, "N mismatch");
+        assert!((self.tracker.h() - h).abs() < 1e-6, "H mismatch");
+        assert!(
+            (self.tracker.contention() - c).abs() < 1e-6,
+            "C mismatch: {} vs {}",
+            self.tracker.contention(),
+            c
+        );
+        if n > 0 {
+            assert_eq!(self.tracker.w_max(), Some(wmax), "w_max mismatch");
+        } else {
+            assert_eq!(self.tracker.w_max(), None);
+        }
+    }
+}
+
+impl Hooks<LowSensing> for OracleCheck {
+    fn on_inject(&mut self, t: Slot, id: PacketId, s: &LowSensing) {
+        self.tracker.on_inject(t, id, s);
+        if self.windows.len() <= id.index() {
+            self.windows.resize(id.index() + 1, None);
+        }
+        self.windows[id.index()] = Some(s.window());
+    }
+    fn on_depart(&mut self, t: Slot, id: PacketId, s: &LowSensing) {
+        self.tracker.on_depart(t, id, s);
+        self.windows[id.index()] = None;
+    }
+    fn on_observe(&mut self, t: Slot, id: PacketId, b: &LowSensing, a: &LowSensing) {
+        self.tracker.on_observe(t, id, b, a);
+        self.windows[id.index()] = Some(a.window());
+    }
+    fn on_slot(&mut self, t: Slot, o: &SlotOutcome) {
+        self.tracker.on_slot(t, o);
+        self.slots_seen += 1;
+        if self.slots_seen.is_multiple_of(37) {
+            self.verify();
+        }
+    }
+    fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
+        self.tracker.on_gap(from, to, jammed);
+    }
+}
+
+#[test]
+fn incremental_tracker_matches_oracle_throughout_run() {
+    let mut oracle = OracleCheck::new();
+    let r = run_sparse(
+        &SimConfig::new(1),
+        Batch::new(400),
+        RandomJam::new(0.1),
+        |_| LowSensing::new(Params::default()),
+        &mut oracle,
+    );
+    assert!(r.drained());
+    oracle.verify();
+    assert!(oracle.checks > 20, "oracle barely exercised: {}", oracle.checks);
+    assert!(oracle.tracker.phi().abs() < 1e-9);
+}
+
+#[test]
+fn oracle_holds_on_dense_engine_too() {
+    let mut oracle = OracleCheck::new();
+    let r = run_dense(
+        &SimConfig::new(2),
+        Batch::new(150),
+        NoJam,
+        |_| LowSensing::new(Params::default()),
+        &mut oracle,
+    );
+    assert!(r.drained());
+    oracle.verify();
+}
+
+#[test]
+fn intervals_tile_the_active_slots_exactly() {
+    let mut rec = IntervalRecorder::new(1.0);
+    let r = run_sparse(
+        &SimConfig::new(3),
+        Batch::new(600),
+        RandomJam::new(0.05),
+        |_| LowSensing::new(Params::default()),
+        &mut rec,
+    );
+    assert!(r.drained());
+    let total_len: u64 = rec.records().iter().map(|iv| iv.len).sum();
+    assert_eq!(total_len, r.totals.active_slots, "interval tiling");
+    // Jams observed by intervals equal the run's jam count.
+    let total_jams: u64 = rec.records().iter().map(|iv| iv.jams).sum();
+    assert_eq!(total_jams, r.totals.jammed_active, "jam attribution");
+    // Arrivals other than the opening batch land inside intervals.
+    let total_arrivals: u64 = rec.records().iter().map(|iv| iv.arrivals).sum();
+    assert_eq!(total_arrivals, 0, "batch arrives at the first interval's start");
+    // The last interval ends with the drain: Φ = 0.
+    let last = rec.records().last().unwrap();
+    assert!(last.drained);
+    assert!(last.phi_end.abs() < 1e-9);
+}
+
+#[test]
+fn total_potential_drop_matches_start_minus_end() {
+    let mut rec = IntervalRecorder::new(1.0);
+    let r = run_sparse(
+        &SimConfig::new(4),
+        Batch::new(300),
+        NoJam,
+        |_| LowSensing::new(Params::default()),
+        &mut rec,
+    );
+    assert!(r.drained());
+    // Interval deltas telescope: Σ ΔΦ ≈ Φ(end) − Φ(start) = −Φ(start).
+    // Boundary Φ samples are taken at slot starts (see intervals.rs docs),
+    // so each of the k interior boundaries can slip by one slot's worth of
+    // Φ change — tolerate O(k), which is ≪ Φ(start).
+    let sum: f64 = rec.records().iter().map(|iv| iv.delta_phi()).sum();
+    let start = rec.records().first().unwrap().phi_start;
+    let slack = 1.5 * rec.records().len() as f64;
+    assert!(
+        (sum + start).abs() < slack,
+        "telescoping failed: Σ={sum}, Φ(0)={start}, slack={slack}"
+    );
+    // The drain itself is exact: the final record ends at Φ = 0.
+    assert!(rec.records().last().unwrap().phi_end.abs() < 1e-9);
+}
+
+#[test]
+fn regime_occupancy_partitions_active_slots() {
+    let mut tracker = PotentialTracker::default();
+    let r = run_sparse(
+        &SimConfig::new(5),
+        Batch::new(500),
+        NoJam,
+        |_| LowSensing::new(Params::default()),
+        &mut tracker,
+    );
+    assert!(r.drained());
+    assert_eq!(tracker.occupancy().total(), r.totals.active_slots);
+}

@@ -1,0 +1,96 @@
+//! Adversarial-queuing stability (Corollary 1.5): bounded backlog at every
+//! placement, invariant to the horizon, across granularities.
+
+use lowsense::{LowSensing, Params};
+use lowsense_sim::prelude::*;
+
+fn run(
+    rate: f64,
+    s: u64,
+    placement: Placement,
+    horizon: u64,
+    seed: u64,
+) -> RunResult {
+    run_sparse(
+        &SimConfig::new(seed)
+            .limits(Limits::until_slot(horizon))
+            .metrics(MetricsConfig::totals_only()),
+        AdversarialQueuing::new(rate, s, placement),
+        NoJam,
+        |_| LowSensing::new(Params::default()),
+        &mut NoHooks,
+    )
+}
+
+#[test]
+fn backlog_bounded_for_every_placement() {
+    let s = 128u64;
+    for placement in [Placement::Front, Placement::Spread, Placement::Random] {
+        let r = run(0.1, s, placement, 150 * s, 1);
+        assert!(
+            r.totals.max_backlog < 8 * s,
+            "{placement:?}: max backlog {} >> S={s}",
+            r.totals.max_backlog
+        );
+        // The system keeps up: deliveries track arrivals.
+        assert!(
+            r.totals.successes as f64 > 0.8 * r.totals.arrivals as f64,
+            "{placement:?}: fell behind ({} of {})",
+            r.totals.successes,
+            r.totals.arrivals
+        );
+    }
+}
+
+#[test]
+fn backlog_does_not_grow_with_horizon() {
+    // Stability: doubling the stream length must not move the max backlog.
+    let s = 128u64;
+    let short = run(0.12, s, Placement::Front, 100 * s, 2);
+    let long = run(0.12, s, Placement::Front, 400 * s, 2);
+    assert!(
+        long.totals.max_backlog <= 3 * short.totals.max_backlog.max(s),
+        "backlog grew with time: {} → {}",
+        short.totals.max_backlog,
+        long.totals.max_backlog
+    );
+}
+
+#[test]
+fn backlog_scales_with_granularity_not_above() {
+    let mut ratios = Vec::new();
+    for &s in &[64u64, 256, 1024] {
+        let r = run(0.1, s, Placement::Front, 120 * s, 3);
+        ratios.push(r.totals.max_backlog as f64 / s as f64);
+    }
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max < 10.0, "backlog/S ratios {ratios:?}");
+}
+
+#[test]
+fn with_joint_jam_budget_system_remains_stable() {
+    let s = 128u64;
+    let horizon = 150 * s;
+    let r = run_sparse(
+        &SimConfig::new(4).limits(Limits::until_slot(horizon)),
+        AdversarialQueuing::new(0.08, s, Placement::Front),
+        WindowPrefixJam::new(0.05, s),
+        |_| LowSensing::new(Params::default()),
+        &mut NoHooks,
+    );
+    assert!(r.totals.max_backlog < 8 * s, "max backlog {}", r.totals.max_backlog);
+    assert!(
+        r.totals.implicit_throughput() > 0.1,
+        "implicit throughput {}",
+        r.totals.implicit_throughput()
+    );
+}
+
+#[test]
+fn higher_rate_still_stable_at_moderate_lambda() {
+    // λ = 0.2 (twice the experiments' default) is still far below the
+    // algorithm's saturation point.
+    let s = 128u64;
+    let r = run(0.2, s, Placement::Front, 150 * s, 5);
+    assert!(r.totals.max_backlog < 12 * s, "max backlog {}", r.totals.max_backlog);
+}
