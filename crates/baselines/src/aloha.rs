@@ -86,9 +86,8 @@ mod tests {
         // thins and the fixed p becomes stale).
         let n = 1000u64;
         let r = run_sparse(
-            &SimConfig::new(1).metrics(
-                lowsense_sim::metrics::MetricsConfig::default().with_series(1.05),
-            ),
+            &SimConfig::new(1)
+                .metrics(lowsense_sim::metrics::MetricsConfig::default().with_series(1.05)),
             Batch::new(n),
             NoJam,
             |_| SlottedAloha::genie(n),

@@ -185,8 +185,8 @@ fn _assert_feedback_unused(_: Feedback) {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lowsense_sim::config::SimConfig;
     use lowsense_sim::arrivals::Batch;
+    use lowsense_sim::config::SimConfig;
     use lowsense_sim::engine::{run_dense, run_sparse};
     use lowsense_sim::hooks::NoHooks;
     use lowsense_sim::jamming::NoJam;

@@ -157,24 +157,18 @@ mod tests {
 
     #[test]
     fn drains_batch_with_constant_throughput() {
-        let r = run_grouped(
-            &SimConfig::new(1),
-            Batch::new(2000),
-            NoJam,
-            |_| CjpMwu::new(CjpConfig::default()),
-        );
+        let r = run_grouped(&SimConfig::new(1), Batch::new(2000), NoJam, |_| {
+            CjpMwu::new(CjpConfig::default())
+        });
         assert!(r.drained());
         assert!(r.totals.throughput() > 0.15, "{}", r.totals.throughput());
     }
 
     #[test]
     fn listens_every_slot_of_life() {
-        let r = run_grouped(
-            &SimConfig::new(2),
-            Batch::new(100),
-            NoJam,
-            |_| CjpMwu::new(CjpConfig::default()),
-        );
+        let r = run_grouped(&SimConfig::new(2), Batch::new(100), NoJam, |_| {
+            CjpMwu::new(CjpConfig::default())
+        });
         let ps = r.per_packet.as_ref().unwrap();
         for p in ps {
             let lifetime = p.departed.unwrap() - p.injected + 1;
@@ -197,12 +191,9 @@ mod tests {
             .active_slots
         });
         let grouped = mean(&|s| {
-            run_grouped(
-                &SimConfig::new(s + 77),
-                Batch::new(100),
-                NoJam,
-                |_| CjpMwu::new(CjpConfig::default()),
-            )
+            run_grouped(&SimConfig::new(s + 77), Batch::new(100), NoJam, |_| {
+                CjpMwu::new(CjpConfig::default())
+            })
             .totals
             .active_slots
         });

@@ -113,8 +113,8 @@ impl LowSensingVariant {
     }
 
     fn recompute(&mut self) {
-        self.p_listen = (self.cfg.c * self.w.ln().powi(self.cfg.listen_exponent) / self.w)
-            .clamp(0.0, 1.0);
+        self.p_listen =
+            (self.cfg.c * self.w.ln().powi(self.cfg.listen_exponent) / self.w).clamp(0.0, 1.0);
     }
 
     fn p_send(&self) -> f64 {
@@ -141,9 +141,7 @@ impl LowSensingVariant {
     pub fn access_probability(&self) -> f64 {
         match self.cfg.coupling {
             Coupling::Coupled => self.p_listen.max(self.p_send()),
-            Coupling::Independent => {
-                1.0 - (1.0 - self.p_listen) * (1.0 - self.p_send())
-            }
+            Coupling::Independent => 1.0 - (1.0 - self.p_listen) * (1.0 - self.p_send()),
         }
     }
 }

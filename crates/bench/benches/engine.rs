@@ -3,24 +3,20 @@
 //! The headline: the sparse engine resolves a `LOW-SENSING BACKOFF` batch
 //! in time proportional to *channel accesses* (polylog per packet), not
 //! slots — which is what makes million-packet Monte Carlo feasible.
+//!
+//! Workloads come from the scenario registry so benches measure exactly the
+//! run descriptions the tests validate.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lowsense::{LowSensing, Params, PotentialTracker};
+use lowsense::PotentialTracker;
 use lowsense_baselines::{CjpConfig, CjpMwu};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
 use lowsense_sim::dist::{geometric, Binomial};
-use lowsense_sim::engine::{run_dense, run_grouped, run_sparse};
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::{NoJam, RandomJam};
-use lowsense_sim::metrics::MetricsConfig;
 use lowsense_sim::rng::SimRng;
+use lowsense_sim::scenario::scenarios;
 
-fn cfg(seed: u64) -> SimConfig {
-    SimConfig::new(seed).metrics(MetricsConfig::totals_only())
-}
+use lowsense::lsb;
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
@@ -30,83 +26,59 @@ fn bench_engines(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     group.bench_function("sparse_lsb_batch_4096", |b| {
+        let scenario = scenarios::batch_drain(4096).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_sparse(
-                &cfg(seed),
-                Batch::new(4096),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            )
+            scenario.seeded(seed).run_sparse(lsb())
         })
     });
 
     group.bench_function("sparse_lsb_batch_65536", |b| {
+        let scenario = scenarios::batch_drain(65_536).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_sparse(
-                &cfg(seed),
-                Batch::new(65_536),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            )
+            scenario.seeded(seed).run_sparse(lsb())
         })
     });
 
     group.bench_function("sparse_lsb_batch_4096_jammed", |b| {
+        let scenario = scenarios::random_jam_batch(4096, 0.2).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_sparse(
-                &cfg(seed),
-                Batch::new(4096),
-                RandomJam::new(0.2),
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            )
+            scenario.seeded(seed).run_sparse(lsb())
         })
     });
 
     group.bench_function("dense_lsb_batch_512", |b| {
+        let scenario = scenarios::batch_drain(512).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_dense(
-                &cfg(seed),
-                Batch::new(512),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            )
+            scenario.seeded(seed).run_dense(lsb())
         })
     });
 
     group.bench_function("grouped_cjp_batch_4096", |b| {
+        let scenario = scenarios::batch_drain(4096).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_grouped(&cfg(seed), Batch::new(4096), NoJam, |_| {
-                CjpMwu::new(CjpConfig::default())
-            })
+            scenario
+                .seeded(seed)
+                .run_grouped(|_| CjpMwu::new(CjpConfig::default()))
         })
     });
 
     group.bench_function("sparse_lsb_with_potential_tracker_2048", |b| {
+        let scenario = scenarios::batch_drain(2048).totals_only();
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             let mut tracker = PotentialTracker::default();
-            run_sparse(
-                &cfg(seed),
-                Batch::new(2048),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut tracker,
-            )
+            scenario.seeded(seed).run_sparse_hooked(lsb(), &mut tracker)
         })
     });
     group.finish();

@@ -1,0 +1,115 @@
+//! Perf smoke target: slots/second per engine, machine readable.
+//!
+//! ```text
+//! cargo bench -p lowsense-bench --bench smoke
+//! ```
+//!
+//! Runs one representative scenario per engine and writes
+//! `BENCH_engine.json` (at the workspace root) with slots-per-second
+//! figures, so successive PRs have a perf trajectory to compare against.
+//! The format is a flat JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "lowsense-bench-engine/1",
+//!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R } }
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::{CjpConfig, CjpMwu};
+use lowsense_sim::metrics::RunResult;
+use lowsense_sim::scenario::scenarios;
+
+const REPS: u64 = 5;
+// Benches run with CWD = the package dir; anchor the report at the
+// workspace root so its location does not depend on how cargo was invoked.
+const OUT_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+struct Sample {
+    name: &'static str,
+    slots: u64,
+    seconds: f64,
+}
+
+impl Sample {
+    fn slots_per_sec(&self) -> f64 {
+        self.slots as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Times `REPS` runs of `run`, counting simulated (active) slots.
+fn measure(name: &'static str, mut run: impl FnMut(u64) -> RunResult) -> Sample {
+    // Warm-up run; result intentionally discarded.
+    let _ = run(0);
+    let start = Instant::now();
+    let mut slots = 0u64;
+    for seed in 1..=REPS {
+        slots += run(seed).totals.active_slots;
+    }
+    Sample {
+        name,
+        slots,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let samples = vec![
+        measure("dense_lsb_512", |seed| {
+            scenarios::batch_drain(512)
+                .totals_only()
+                .seeded(seed)
+                .run_dense(|_| LowSensing::new(Params::default()))
+        }),
+        measure("sparse_lsb_16384", |seed| {
+            scenarios::batch_drain(16_384)
+                .totals_only()
+                .seeded(seed)
+                .run_sparse(|_| LowSensing::new(Params::default()))
+        }),
+        measure("sparse_lsb_16384_jammed", |seed| {
+            scenarios::random_jam_batch(16_384, 0.2)
+                .totals_only()
+                .seeded(seed)
+                .run_sparse(|_| LowSensing::new(Params::default()))
+        }),
+        measure("grouped_cjp_4096", |seed| {
+            scenarios::batch_drain(4096)
+                .totals_only()
+                .seeded(seed)
+                .run_grouped(|_| CjpMwu::new(CjpConfig::default()))
+        }),
+    ];
+
+    let mut json =
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/1\",\n  \"engines\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1} }}{sep}\n",
+            s.name,
+            s.slots,
+            s.seconds,
+            s.slots_per_sec()
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    for s in &samples {
+        println!(
+            "smoke: {:<28} {:>12} slots in {:>8.3}s  ({:>12.0} slots/sec)",
+            s.name,
+            s.slots,
+            s.seconds,
+            s.slots_per_sec()
+        );
+    }
+    let mut f = std::fs::File::create(OUT_FILE).expect("create BENCH_engine.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_engine.json");
+    println!("smoke: wrote BENCH_engine.json");
+}

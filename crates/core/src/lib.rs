@@ -61,6 +61,19 @@ pub use params::{ParamError, Params};
 pub use potential::{Alphas, PotentialTracker, Regime, RegimeOccupancy, RegimeThresholds};
 pub use protocol::LowSensing;
 
+/// Packet factory running `LOW-SENSING BACKOFF` with default parameters —
+/// the canonical protocol argument for the engines and the scenario layer.
+///
+/// ```
+/// use lowsense_sim::prelude::*;
+///
+/// let r = scenarios::batch_drain(32).run_sparse(lowsense::lsb());
+/// assert!(r.drained());
+/// ```
+pub fn lsb() -> impl FnMut(&mut lowsense_sim::rng::SimRng) -> LowSensing {
+    |_| LowSensing::new(Params::default())
+}
+
 #[cfg(test)]
 mod integration_tests {
     use super::*;
@@ -85,8 +98,7 @@ mod integration_tests {
         // Same workload, both engines; mean active-slot counts within 25%
         // across seeds (different random executions of the same process).
         let n = 200;
-        let mean =
-            |results: Vec<u64>| results.iter().sum::<u64>() as f64 / results.len() as f64;
+        let mean = |results: Vec<u64>| results.iter().sum::<u64>() as f64 / results.len() as f64;
         let dense: Vec<u64> = (0..8)
             .map(|s| {
                 run_dense(

@@ -42,7 +42,10 @@ impl fmt::Display for ParamError {
             ParamError::BadC => write!(f, "c must be positive and finite"),
             ParamError::BadWMin => write!(f, "w_min must be finite and at least 2"),
             ParamError::SendProbabilityOverflow => {
-                write!(f, "c·ln³(w_min) must be at least 1 so that p_send|listen ≤ 1")
+                write!(
+                    f,
+                    "c·ln³(w_min) must be at least 1 so that p_send|listen ≤ 1"
+                )
             }
         }
     }
@@ -100,7 +103,11 @@ impl Params {
         // the reachable region [w_min, ∞).
         let e3 = std::f64::consts::E.powi(3);
         let at = |w: f64| w / w.ln().powi(3);
-        let min = if self.w_min <= e3 { at(e3) } else { at(self.w_min) };
+        let min = if self.w_min <= e3 {
+            at(e3)
+        } else {
+            at(self.w_min)
+        };
         self.c <= min
     }
 
@@ -199,6 +206,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParamError::BadC.to_string().contains('c'));
-        assert!(ParamError::SendProbabilityOverflow.to_string().contains("ln³"));
+        assert!(ParamError::SendProbabilityOverflow
+            .to_string()
+            .contains("ln³"));
     }
 }

@@ -392,10 +392,7 @@ mod tests {
 
     #[test]
     fn phi_weights_apply() {
-        let mut tr = PotentialTracker::new(
-            Alphas::new(4.0, 2.0, 1.0),
-            RegimeThresholds::default(),
-        );
+        let mut tr = PotentialTracker::new(Alphas::new(4.0, 2.0, 1.0), RegimeThresholds::default());
         let a = pkt(10.0);
         tr.on_inject(0, PacketId(0), &a);
         let expect = 4.0 + 2.0 / 10.0f64.ln() + 10.0 / 10.0f64.ln().powi(2);

@@ -82,10 +82,7 @@ mod tests {
         // grows.
         for (w, tol) in [(100.0, 0.05), (1e4, 0.01), (1e8, 0.001)] {
             let round = back_on(&params, back_off(&params, w));
-            assert!(
-                (round - w).abs() / w < tol,
-                "w={w} round-trips to {round}"
-            );
+            assert!((round - w).abs() / w < tol, "w={w} round-trips to {round}");
         }
     }
 

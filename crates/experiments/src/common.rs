@@ -1,43 +1,39 @@
 //! Shared measurement helpers used across experiments.
+//!
+//! Experiments describe workloads as [`Scenario`] values (usually starting
+//! from the canonical constructors in
+//! [`lowsense_sim::scenario::scenarios`]) and run protocols over them with
+//! the factories below.
 
 use lowsense::{LowSensing, Params};
-use lowsense_sim::arrivals::ArrivalProcess;
-use lowsense_sim::config::{Limits, SimConfig};
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::Jammer;
-use lowsense_sim::metrics::{MetricsConfig, RunResult};
+use lowsense_sim::arrivals::{ArrivalProcess, Batch};
+use lowsense_sim::jamming::{Jammer, NoJam};
+use lowsense_sim::metrics::RunResult;
+use lowsense_sim::rng::SimRng;
+use lowsense_sim::scenario::{scenarios, Scenario};
 use lowsense_stats::{quantile, Summary};
 
-/// Runs `LOW-SENSING BACKOFF` (default parameters) on the sparse engine.
-pub fn run_lsb<A, J>(arrivals: A, jammer: J, seed: u64, limits: Limits) -> RunResult
-where
-    A: ArrivalProcess,
-    J: Jammer,
-{
-    run_lsb_with(arrivals, jammer, seed, limits, MetricsConfig::default())
+pub use lowsense::lsb;
+
+/// Factory for `LOW-SENSING BACKOFF` with explicit parameters.
+pub fn lsb_with(params: Params) -> impl FnMut(&mut SimRng) -> LowSensing {
+    move |_| LowSensing::new(params)
 }
 
-/// [`run_lsb`] with explicit metrics configuration.
-pub fn run_lsb_with<A, J>(
-    arrivals: A,
-    jammer: J,
-    seed: u64,
-    limits: Limits,
-    metrics: MetricsConfig,
-) -> RunResult
+/// Totals-only seeded batch — the common sweep point for protocol
+/// comparisons (T2, F5, …).
+pub fn batch_totals(n: u64, seed: u64) -> Scenario<Batch, NoJam> {
+    scenarios::batch_drain(n).seed(seed).totals_only()
+}
+
+/// Runs `LOW-SENSING BACKOFF` (default parameters) over `scenario` on the
+/// sparse engine.
+pub fn run_lsb<A, J>(scenario: &Scenario<A, J>) -> RunResult
 where
-    A: ArrivalProcess,
-    J: Jammer,
+    A: ArrivalProcess + Clone,
+    J: Jammer + Clone,
 {
-    let cfg = SimConfig::new(seed).limits(limits).metrics(metrics);
-    run_sparse(
-        &cfg,
-        arrivals,
-        jammer,
-        |_| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    )
+    scenario.run_sparse(lsb())
 }
 
 /// Per-packet energy digest of one run.
@@ -108,18 +104,17 @@ pub fn pow2_sweep(lo: u32, hi: u32) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lowsense_sim::arrivals::Batch;
-    use lowsense_sim::jamming::NoJam;
+    use lowsense_sim::scenario::scenarios;
 
     #[test]
     fn run_lsb_drains_batch() {
-        let r = run_lsb(Batch::new(64), NoJam, 1, Limits::default());
+        let r = run_lsb(&scenarios::batch_drain(64).seed(1));
         assert!(r.drained());
     }
 
     #[test]
     fn energy_digest_orders() {
-        let r = run_lsb(Batch::new(256), NoJam, 2, Limits::default());
+        let r = run_lsb(&scenarios::batch_drain(256).seed(2));
         let d = EnergyDigest::of(&r);
         assert!(d.mean > 0.0);
         assert!(d.p50 <= d.p99 && d.p99 <= d.max);

@@ -6,14 +6,10 @@
 //! feedback at higher energy. We sweep `c` on a fixed batch, with and
 //! without jamming, and report the throughput/energy trade-off.
 
-use lowsense::{LowSensing, Params};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense::Params;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::{mean, EnergyDigest};
+use crate::common::{lsb_with, mean, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
@@ -42,23 +38,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 140_000 + (c * 100.0) as u64 + jam as u64,
                 scale.seeds(),
                 |seed| {
-                    let cfg = SimConfig::new(seed);
                     if jam {
-                        run_sparse(
-                            &cfg,
-                            Batch::new(n),
-                            RandomJam::new(0.1),
-                            |_| LowSensing::new(params),
-                            &mut NoHooks,
-                        )
+                        scenarios::random_jam_batch(n, 0.1)
+                            .seed(seed)
+                            .run_sparse(lsb_with(params))
                     } else {
-                        run_sparse(
-                            &cfg,
-                            Batch::new(n),
-                            NoJam,
-                            |_| LowSensing::new(params),
-                            &mut NoHooks,
-                        )
+                        scenarios::batch_drain(n)
+                            .seed(seed)
+                            .run_sparse(lsb_with(params))
                     }
                 },
             );
@@ -71,7 +58,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 Cell::Float(tp, 3),
                 Cell::Float(digest.mean, 1),
                 Cell::Float(digest.max, 0),
-                Cell::text(if params.respects_listen_cap() { "yes" } else { "clamped" }),
+                Cell::text(if params.respects_listen_cap() {
+                    "yes"
+                } else {
+                    "clamped"
+                }),
             ]);
         }
     }

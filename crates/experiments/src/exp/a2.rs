@@ -8,11 +8,7 @@
 //! the algorithm fixed and measure what breaks.
 
 use lowsense_baselines::{LowSensingVariant, VariantConfig};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{mean, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -42,26 +38,21 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ..VariantConfig::paper(1.0, 4.0)
         };
         for jam in [false, true] {
-            let results = monte_carlo(150_000 + k as u64 * 10 + jam as u64, scale.seeds(), |seed| {
-                let sim = SimConfig::new(seed);
-                if jam {
-                    run_sparse(
-                        &sim,
-                        Batch::new(n),
-                        RandomJam::new(0.1),
-                        |_| LowSensingVariant::new(cfg),
-                        &mut NoHooks,
-                    )
-                } else {
-                    run_sparse(
-                        &sim,
-                        Batch::new(n),
-                        NoJam,
-                        |_| LowSensingVariant::new(cfg),
-                        &mut NoHooks,
-                    )
-                }
-            });
+            let results = monte_carlo(
+                150_000 + k as u64 * 10 + jam as u64,
+                scale.seeds(),
+                |seed| {
+                    if jam {
+                        scenarios::random_jam_batch(n, 0.1)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
+                    } else {
+                        scenarios::batch_drain(n)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
+                    }
+                },
+            );
             let tp = mean(results.iter().map(|r| r.totals.throughput()));
             let digest =
                 EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());

@@ -8,11 +8,7 @@
 //! compare the paper's rule against constant factors under jamming.
 
 use lowsense_baselines::{LowSensingVariant, UpdateRule, VariantConfig};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{mean, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -50,23 +46,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 160_000 + ri as u64 * 10 + jam as u64,
                 scale.seeds(),
                 |seed| {
-                    let sim = SimConfig::new(seed);
                     if jam {
-                        run_sparse(
-                            &sim,
-                            Batch::new(n),
-                            RandomJam::new(0.15),
-                            |_| LowSensingVariant::new(cfg),
-                            &mut NoHooks,
-                        )
+                        scenarios::random_jam_batch(n, 0.15)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
                     } else {
-                        run_sparse(
-                            &sim,
-                            Batch::new(n),
-                            NoJam,
-                            |_| LowSensingVariant::new(cfg),
-                            &mut NoHooks,
-                        )
+                        scenarios::batch_drain(n)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
                     }
                 },
             );

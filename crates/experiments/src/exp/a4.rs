@@ -9,11 +9,7 @@
 //! the behaviour differs in practice.
 
 use lowsense_baselines::{Coupling, LowSensingVariant, VariantConfig};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{mean, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -22,11 +18,7 @@ use crate::table::{Cell, Table};
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
     let n: u64 = scale.pick(1 << 10, 1 << 13);
-    let mut table = Table::new(
-        "A4",
-        format!("send/listen coin coupling (batch N={n})"),
-    )
-    .columns([
+    let mut table = Table::new("A4", format!("send/listen coin coupling (batch N={n})")).columns([
         "coupling",
         "jam",
         "throughput",
@@ -45,23 +37,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 170_000 + matches!(coupling, Coupling::Independent) as u64 * 10 + jam as u64,
                 scale.seeds(),
                 |seed| {
-                    let sim = SimConfig::new(seed);
                     if jam {
-                        run_sparse(
-                            &sim,
-                            Batch::new(n),
-                            RandomJam::new(0.1),
-                            |_| LowSensingVariant::new(cfg),
-                            &mut NoHooks,
-                        )
+                        scenarios::random_jam_batch(n, 0.1)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
                     } else {
-                        run_sparse(
-                            &sim,
-                            Batch::new(n),
-                            NoJam,
-                            |_| LowSensingVariant::new(cfg),
-                            &mut NoHooks,
-                        )
+                        scenarios::batch_drain(n)
+                            .seed(seed)
+                            .run_sparse(|_| LowSensingVariant::new(cfg))
                     }
                 },
             );

@@ -7,14 +7,10 @@
 //! tail. The constraint `c·ln³(w_min) ≥ 1` couples the sweep to `c`, so we
 //! pick `c` per point as `max(0.5, 1.05/ln³(w_min))`.
 
-use lowsense::{LowSensing, Params};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
+use lowsense::Params;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::{mean, EnergyDigest};
+use crate::common::{lsb_with, mean, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
@@ -39,17 +35,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let c = (1.05 / w_min.ln().powi(3)).max(0.5);
         let params = Params::new(c, w_min).expect("valid sweep point");
         let results = monte_carlo(200_000 + w_min as u64, scale.seeds(), |seed| {
-            run_sparse(
-                &SimConfig::new(seed),
-                Batch::new(n),
-                NoJam,
-                |_| LowSensing::new(params),
-                &mut NoHooks,
-            )
+            scenarios::batch_drain(n)
+                .seed(seed)
+                .run_sparse(lsb_with(params))
         });
         let tp = mean(results.iter().map(|r| r.totals.throughput()));
-        let digest =
-            EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+        let digest = EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
         let lat_p99 = {
             let mut all: Vec<f64> = results
                 .iter()

@@ -7,12 +7,10 @@
 //! slot, the fraction of intervals with negative drift, and the
 //! arrival+jam credit `(A+J)/τ` that the theorem subtracts.
 
-use lowsense::{IntervalRecorder, LowSensing, Params};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense::IntervalRecorder;
+use lowsense_sim::scenario::scenarios;
 
+use crate::common::lsb;
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 use std::collections::BTreeMap;
@@ -36,23 +34,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for jam in [false, true] {
         let records = monte_carlo(100_000 + jam as u64, scale.seeds(), |seed| {
             let mut rec = IntervalRecorder::new(1.0);
-            let cfg = SimConfig::new(seed);
             if jam {
-                let _ = run_sparse(
-                    &cfg,
-                    Batch::new(n),
-                    RandomJam::new(0.1),
-                    |_| LowSensing::new(Params::default()),
-                    &mut rec,
-                );
+                let _ = scenarios::random_jam_batch(n, 0.1)
+                    .seed(seed)
+                    .run_sparse_hooked(lsb(), &mut rec);
             } else {
-                let _ = run_sparse(
-                    &cfg,
-                    Batch::new(n),
-                    NoJam,
-                    |_| LowSensing::new(Params::default()),
-                    &mut rec,
-                );
+                let _ = scenarios::batch_drain(n)
+                    .seed(seed)
+                    .run_sparse_hooked(lsb(), &mut rec);
             }
             rec.records().to_vec()
         });
@@ -67,10 +56,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         }
         for (b, rs) in &buckets {
             let count = rs.len() as u64;
-            let drift =
-                rs.iter().map(|r| r.drift_per_slot()).sum::<f64>() / count as f64;
-            let neg = rs.iter().filter(|r| r.delta_phi() < 0.0).count() as f64
-                / count as f64;
+            let drift = rs.iter().map(|r| r.drift_per_slot()).sum::<f64>() / count as f64;
+            let neg = rs.iter().filter(|r| r.delta_phi() < 0.0).count() as f64 / count as f64;
             let credit = rs
                 .iter()
                 .map(|r| (r.arrivals + r.jams) as f64 / r.len as f64)

@@ -94,7 +94,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     table.note(format!(
         "measured: all {} contention levels in bounds: {}",
         cs.len(),
-        if all_ok { "yes" } else { "NO — check sampler" }
+        if all_ok {
+            "yes"
+        } else {
+            "NO — check sampler"
+        }
     ));
     table.note("success probability peaks at C = Θ(1) — the 'good contention' regime the algorithm steers toward");
     vec![table]

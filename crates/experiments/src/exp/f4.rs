@@ -11,15 +11,14 @@
 //!   near it (regime occupancy);
 //! * `w_max = O(Φ·ln²Φ)` throughout (§4.4, used to prove energy bounds).
 
-use lowsense::{LowSensing, Params, PotentialTracker};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
+use lowsense::{LowSensing, PotentialTracker};
 use lowsense_sim::feedback::SlotOutcome;
 use lowsense_sim::hooks::Hooks;
 use lowsense_sim::packet::PacketId;
+use lowsense_sim::scenario::scenarios;
 use lowsense_sim::time::Slot;
 
+use crate::common::lsb;
 use crate::runner::Scale;
 use crate::table::{Cell, Table};
 
@@ -91,16 +90,19 @@ impl Hooks<LowSensing> for Trajectory {
 pub fn run(scale: Scale) -> Vec<Table> {
     let n: u64 = scale.pick(1 << 10, 1 << 13);
     let mut traj = Trajectory::new();
-    let result = run_sparse(
-        &SimConfig::new(7),
-        Batch::new(n),
-        lowsense_sim::jamming::NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut traj,
-    );
+    let result = scenarios::batch_drain(n)
+        .seed(7)
+        .run_sparse_hooked(lsb(), &mut traj);
 
-    let mut table = Table::new("F4", format!("batch-of-{n} herd trajectory (single run)"))
-        .columns(["slot", "backlog", "contention", "w_max", "Φ", "w_max/(Φ·ln²Φ)"]);
+    let mut table =
+        Table::new("F4", format!("batch-of-{n} herd trajectory (single run)")).columns([
+            "slot",
+            "backlog",
+            "contention",
+            "w_max",
+            "Φ",
+            "w_max/(Φ·ln²Φ)",
+        ]);
     let mut bound_ok = true;
     for s in &traj.rows {
         let bound = if s.phi > 3.0 {

@@ -5,22 +5,11 @@
 //! and the baselines: flat for the constant-throughput algorithms, growing
 //! (`Θ(log N)`-style) for the backoff family.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu, SlottedAloha, WindowedBeb};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{run_grouped, run_sparse};
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
-use lowsense_sim::metrics::MetricsConfig;
 
-use crate::common::{mean, pow2_sweep};
+use crate::common::{batch_totals as batch, lsb, mean, pow2_sweep};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
-
-fn cfg(seed: u64) -> SimConfig {
-    SimConfig::new(seed).metrics(MetricsConfig::totals_only())
-}
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -36,47 +25,27 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut lsb_col = Vec::new();
     for &n in &ns {
         let lsb = mean(monte_carlo(120_000 + n, scale.seeds(), |s| {
-            run_sparse(
-                &cfg(s),
-                Batch::new(n),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            )
-            .totals
-            .active_slots as f64
-                / n as f64
+            batch(n, s).run_sparse(lsb()).totals.active_slots as f64 / n as f64
         }));
         let beb = mean(monte_carlo(121_000 + n, scale.seeds(), |s| {
-            run_sparse(
-                &cfg(s),
-                Batch::new(n),
-                NoJam,
-                |rng| WindowedBeb::new(2, 40, rng),
-                &mut NoHooks,
-            )
-            .totals
-            .active_slots as f64
+            batch(n, s)
+                .run_sparse(|rng| WindowedBeb::new(2, 40, rng))
+                .totals
+                .active_slots as f64
                 / n as f64
         }));
         let aloha = mean(monte_carlo(122_000 + n, scale.seeds(), |s| {
-            run_sparse(
-                &cfg(s),
-                Batch::new(n),
-                NoJam,
-                |_| SlottedAloha::genie(n),
-                &mut NoHooks,
-            )
-            .totals
-            .active_slots as f64
+            batch(n, s)
+                .run_sparse(|_| SlottedAloha::genie(n))
+                .totals
+                .active_slots as f64
                 / n as f64
         }));
         let cjp = mean(monte_carlo(123_000 + n, scale.seeds(), |s| {
-            run_grouped(&cfg(s), Batch::new(n), NoJam, |_| {
-                CjpMwu::new(CjpConfig::default())
-            })
-            .totals
-            .active_slots as f64
+            batch(n, s)
+                .run_grouped(|_| CjpMwu::new(CjpConfig::default()))
+                .totals
+                .active_slots as f64
                 / n as f64
         }));
         lsb_col.push(lsb);

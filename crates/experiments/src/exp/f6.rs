@@ -6,15 +6,10 @@
 //! accesses equal its lifetime, i.e. `Θ(N)` for a batch — the exponential
 //! separation the paper's title is about.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{run_grouped, run_sparse};
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::{mean, pow2_sweep};
+use crate::common::{mean, pow2_sweep, run_lsb};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
@@ -34,13 +29,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut ratio_last = 0.0;
     for (i, &n) in ns.iter().enumerate() {
         let lsb = monte_carlo(130_000 + n, scale.seeds(), |s| {
-            let r = run_sparse(
-                &SimConfig::new(s),
-                Batch::new(n),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            );
+            let r = run_lsb(&scenarios::protocol_faceoff(n).seed(s));
             let ps = r.per_packet.as_ref().expect("per-packet stats");
             let sends = mean(ps.iter().map(|p| p.sends as f64));
             let listens = mean(ps.iter().map(|p| p.listens as f64));
@@ -49,9 +38,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let sends = mean(lsb.iter().map(|x| x.0));
         let listens = mean(lsb.iter().map(|x| x.1));
         let cjp = mean(monte_carlo(131_000 + n, scale.seeds(), |s| {
-            let r = run_grouped(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
-                CjpMwu::new(CjpConfig::default())
-            });
+            let r = scenarios::protocol_faceoff(n)
+                .seed(s)
+                .run_grouped(|_| CjpMwu::new(CjpConfig::default()));
             mean(r.access_counts().iter().map(|&a| a as f64))
         }));
         let total = sends + listens;

@@ -9,71 +9,63 @@
 
 use std::collections::BTreeMap;
 
-use lowsense_sim::arrivals::{AdversarialQueuing, Batch, Bernoulli, Placement};
-use lowsense_sim::config::Limits;
-use lowsense_sim::jamming::{NoJam, RandomJam, WindowPrefixJam};
-use lowsense_sim::metrics::{MetricsConfig, RunResult};
+use lowsense_sim::arrivals::Placement;
+use lowsense_sim::jamming::WindowPrefixJam;
+use lowsense_sim::metrics::RunResult;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::run_lsb_with;
+use crate::common::run_lsb;
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
 type WorkloadFn = Box<dyn Fn(u64) -> RunResult + Sync + Send>;
 
+const SERIES: f64 = 1.6;
+
 fn workloads(n: u64) -> Vec<(&'static str, WorkloadFn)> {
-    let metrics = MetricsConfig::default().with_series(1.6);
     vec![
         (
             "batch",
-            Box::new(move |seed| {
-                run_lsb_with(Batch::new(n), NoJam, seed, Limits::default(), metrics)
-            }),
+            Box::new(move |seed| run_lsb(&scenarios::batch_drain(n).series(SERIES).seed(seed))),
         ),
         (
             "batch+jam(.15)",
             Box::new(move |seed| {
-                run_lsb_with(
-                    Batch::new(n),
-                    RandomJam::new(0.15),
-                    seed,
-                    Limits::default(),
-                    metrics,
+                run_lsb(
+                    &scenarios::random_jam_batch(n, 0.15)
+                        .series(SERIES)
+                        .seed(seed),
                 )
             }),
         ),
         (
             "bernoulli(.05)",
             Box::new(move |seed| {
-                run_lsb_with(
-                    Bernoulli::new(0.05).with_total(n),
-                    NoJam,
-                    seed,
-                    Limits::default(),
-                    metrics,
+                run_lsb(
+                    &scenarios::bernoulli_stream(0.05, n)
+                        .series(SERIES)
+                        .seed(seed),
                 )
             }),
         ),
         (
             "queuing(.10,S=256)",
             Box::new(move |seed| {
-                run_lsb_with(
-                    AdversarialQueuing::new(0.10, 256, Placement::Front).with_total(n),
-                    NoJam,
-                    seed,
-                    Limits::default(),
-                    metrics,
+                run_lsb(
+                    &scenarios::adversarial_queuing_total(0.10, 256, Placement::Front, n)
+                        .series(SERIES)
+                        .seed(seed),
                 )
             }),
         ),
         (
             "queuing+winjam",
             Box::new(move |seed| {
-                run_lsb_with(
-                    AdversarialQueuing::new(0.08, 256, Placement::Front).with_total(n),
-                    WindowPrefixJam::new(0.05, 256),
-                    seed,
-                    Limits::default(),
-                    metrics,
+                run_lsb(
+                    &scenarios::adversarial_queuing_total(0.08, 256, Placement::Front, n)
+                        .jammer(WindowPrefixJam::new(0.05, 256))
+                        .series(SERIES)
+                        .seed(seed),
                 )
             }),
         ),

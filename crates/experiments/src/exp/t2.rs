@@ -11,91 +11,51 @@
 //!   its tail, so its *overall* throughput also degrades — it is a
 //!   reference, not a contender.
 
-use lowsense::{theory, LowSensing, Params};
+use crate::common::{batch_totals as batch, lsb, mean, pow2_sweep};
+use crate::runner::{monte_carlo, Scale};
+use crate::table::{Cell, Table};
+use lowsense::theory;
 use lowsense_baselines::{
     CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
 };
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{run_grouped, run_sparse};
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
-use lowsense_sim::metrics::MetricsConfig;
-
-use crate::common::{mean, pow2_sweep};
-use crate::runner::{monte_carlo, Scale};
-use crate::table::{Cell, Table};
-
-fn cfg(seed: u64) -> SimConfig {
-    SimConfig::new(seed).metrics(MetricsConfig::totals_only())
-}
 
 fn tp_lsb(n: u64, seed: u64) -> f64 {
-    run_sparse(
-        &cfg(seed),
-        Batch::new(n),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    )
-    .totals
-    .throughput()
+    batch(n, seed).run_sparse(lsb()).totals.throughput()
 }
 
 fn tp_beb(n: u64, seed: u64) -> f64 {
-    run_sparse(
-        &cfg(seed),
-        Batch::new(n),
-        NoJam,
-        |rng| WindowedBeb::new(2, 40, rng),
-        &mut NoHooks,
-    )
-    .totals
-    .throughput()
+    batch(n, seed)
+        .run_sparse(|rng| WindowedBeb::new(2, 40, rng))
+        .totals
+        .throughput()
 }
 
 fn tp_prob_beb(n: u64, seed: u64) -> f64 {
-    run_sparse(
-        &cfg(seed),
-        Batch::new(n),
-        NoJam,
-        |_| ProbBeb::new(0.5),
-        &mut NoHooks,
-    )
-    .totals
-    .throughput()
+    batch(n, seed)
+        .run_sparse(|_| ProbBeb::new(0.5))
+        .totals
+        .throughput()
 }
 
 fn tp_poly(n: u64, seed: u64) -> f64 {
-    run_sparse(
-        &cfg(seed),
-        Batch::new(n),
-        NoJam,
-        |rng| PolynomialBackoff::new(2, 2, rng),
-        &mut NoHooks,
-    )
-    .totals
-    .throughput()
+    batch(n, seed)
+        .run_sparse(|rng| PolynomialBackoff::new(2, 2, rng))
+        .totals
+        .throughput()
 }
 
 fn tp_aloha(n: u64, seed: u64) -> f64 {
-    run_sparse(
-        &cfg(seed),
-        Batch::new(n),
-        NoJam,
-        |_| SlottedAloha::genie(n),
-        &mut NoHooks,
-    )
-    .totals
-    .throughput()
+    batch(n, seed)
+        .run_sparse(|_| SlottedAloha::genie(n))
+        .totals
+        .throughput()
 }
 
 fn tp_cjp(n: u64, seed: u64) -> f64 {
-    run_grouped(&cfg(seed), Batch::new(n), NoJam, |_| {
-        CjpMwu::new(CjpConfig::default())
-    })
-    .totals
-    .throughput()
+    batch(n, seed)
+        .run_grouped(|_| CjpMwu::new(CjpConfig::default()))
+        .totals
+        .throughput()
 }
 
 /// Runs the experiment.

@@ -7,9 +7,7 @@
 //! bound, and fit the growth shape of the mean and the max.
 
 use lowsense::theory;
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::Limits;
-use lowsense_sim::jamming::{NoJam, RandomJam};
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{mean, pow2_sweep, run_lsb, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -23,7 +21,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "per-packet channel accesses, finite streams (adaptive adversary)",
     )
     .columns([
-        "N", "jam", "J(mean)", "mean", "p50", "p99", "max", "max/ln⁴(N+J)",
+        "N",
+        "jam",
+        "J(mean)",
+        "mean",
+        "p50",
+        "p99",
+        "max",
+        "max/ln⁴(N+J)",
     ]);
 
     let mut xs = Vec::new();
@@ -33,9 +38,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         for jam in [false, true] {
             let results = monte_carlo(40_000 + n + jam as u64, scale.seeds(), |seed| {
                 if jam {
-                    run_lsb(Batch::new(n), RandomJam::new(0.1), seed, Limits::default())
+                    run_lsb(&scenarios::random_jam_batch(n, 0.1).seed(seed))
                 } else {
-                    run_lsb(Batch::new(n), NoJam, seed, Limits::default())
+                    run_lsb(&scenarios::batch_drain(n).seed(seed))
                 }
             });
             let j_mean = mean(results.iter().map(|r| r.totals.jammed_active as f64));

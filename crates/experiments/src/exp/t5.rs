@@ -7,9 +7,7 @@
 //! per-packet access distribution grows only polylogarithmically in `S`.
 
 use lowsense::theory;
-use lowsense_sim::arrivals::{AdversarialQueuing, Placement};
-use lowsense_sim::config::Limits;
-use lowsense_sim::jamming::WindowPrefixJam;
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{run_lsb, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -30,16 +28,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &s in &ss {
         let results = monte_carlo(50_000 + s, scale.seeds(), |seed| {
             run_lsb(
-                AdversarialQueuing::new(0.10, s, Placement::Front),
-                WindowPrefixJam::new(0.05, s),
-                seed,
-                Limits::until_slot(s * windows),
+                &scenarios::queuing_jammed(0.10, 0.05, s)
+                    .until_slot(s * windows)
+                    .seed(seed),
             )
         });
-        let packets = results.iter().map(|r| r.totals.arrivals).sum::<u64>()
-            / results.len() as u64;
-        let digest =
-            EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+        let packets = results.iter().map(|r| r.totals.arrivals).sum::<u64>() / results.len() as u64;
+        let digest = EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
         let bound = theory::polylog(s as f64, 4);
         xs.push(s as f64);
         maxes.push(digest.max);

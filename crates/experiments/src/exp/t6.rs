@@ -8,8 +8,8 @@
 
 use lowsense::theory;
 use lowsense_sim::arrivals::Bernoulli;
-use lowsense_sim::config::Limits;
 use lowsense_sim::jamming::RandomJam;
+use lowsense_sim::scenario::Scenario;
 
 use crate::common::{run_lsb, EnergyDigest};
 use crate::runner::{monte_carlo, Scale};
@@ -22,23 +22,31 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "T6",
         "per-packet accesses before horizon t, infinite Bernoulli(0.05) stream + jam(0.02)",
     )
-    .columns(["horizon", "N_t", "J_t", "mean", "p99", "max", "max/ln⁴(N+J)"]);
+    .columns([
+        "horizon",
+        "N_t",
+        "J_t",
+        "mean",
+        "p99",
+        "max",
+        "max/ln⁴(N+J)",
+    ]);
 
     let mut xs = Vec::new();
     let mut maxes = Vec::new();
     for &t_end in &horizons {
         let results = monte_carlo(60_000 + t_end, scale.seeds(), |seed| {
             run_lsb(
-                Bernoulli::new(0.05),
-                RandomJam::new(0.02),
-                seed,
-                Limits::until_slot(t_end),
+                &Scenario::named("infinite-bernoulli+jam")
+                    .arrivals(Bernoulli::new(0.05))
+                    .jammer(RandomJam::new(0.02))
+                    .until_slot(t_end)
+                    .seed(seed),
             )
         });
         let n_t = crate::common::mean(results.iter().map(|r| r.totals.arrivals as f64));
         let j_t = crate::common::mean(results.iter().map(|r| r.totals.jammed_active as f64));
-        let digest =
-            EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+        let digest = EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
         let bound = theory::energy_bound_finite(n_t as u64, j_t as u64);
         xs.push(n_t + j_t);
         maxes.push(digest.max);
@@ -54,9 +62,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
 
     let (beta, _) = lowsense_stats::power_exponent(&xs, &maxes);
-    table.note(
-        "paper: Thm 5.29 — before time t, each packet makes O(ln⁴(N_t+J_t)) accesses w.h.p.",
-    );
+    table
+        .note("paper: Thm 5.29 — before time t, each packet makes O(ln⁴(N_t+J_t)) accesses w.h.p.");
     table.note(format!(
         "measured: max accesses ~ (N_t+J_t)^{beta:.2} (≪ 1 ⇒ consistent with polylog)"
     ));

@@ -10,10 +10,9 @@
 //! population average.
 
 use lowsense::theory;
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::Limits;
 use lowsense_sim::jamming::ReactiveTargeted;
 use lowsense_sim::packet::PacketId;
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::{mean, run_lsb};
 use crate::runner::{monte_carlo, Scale};
@@ -39,15 +38,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &j in &budgets {
         let results = monte_carlo(70_000 + j, scale.seeds(), |seed| {
             run_lsb(
-                Batch::new(n),
-                ReactiveTargeted::new(PacketId(0), j),
-                seed,
-                Limits::default(),
+                &scenarios::batch_drain(n)
+                    .jammer(ReactiveTargeted::new(PacketId(0), j))
+                    .seed(seed),
             )
         });
-        let target = mean(results.iter().map(|r| {
-            r.per_packet.as_ref().expect("per-packet stats")[0].accesses() as f64
-        }));
+        let target = mean(
+            results
+                .iter()
+                .map(|r| r.per_packet.as_ref().expect("per-packet stats")[0].accesses() as f64),
+        );
         let avgs: Vec<f64> = results
             .iter()
             .map(|r| {
@@ -67,10 +67,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
             Cell::Float(target, 1),
             Cell::Float(target / target_bound, 4),
             Cell::Float(mean(avgs), 1),
-            Cell::Float(mean(results.iter().map(|r| {
-                let counts = r.access_counts();
-                counts.iter().sum::<u64>() as f64 / counts.len() as f64
-            })) / avg_bound, 4),
+            Cell::Float(
+                mean(results.iter().map(|r| {
+                    let counts = r.access_counts();
+                    counts.iter().sum::<u64>() as f64 / counts.len() as f64
+                })) / avg_bound,
+                4,
+            ),
             Cell::Float(max, 0),
         ]);
     }

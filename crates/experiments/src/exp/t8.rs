@@ -7,9 +7,9 @@
 //! both normalizations.
 
 use lowsense::theory;
-use lowsense_sim::arrivals::{AdversarialQueuing, Placement};
-use lowsense_sim::config::Limits;
+use lowsense_sim::arrivals::Placement;
 use lowsense_sim::jamming::ReactiveAny;
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::run_lsb;
 use crate::runner::{monte_carlo, Scale};
@@ -36,22 +36,23 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let horizon = s * windows;
         let results = monte_carlo(80_000 + s, scale.seeds(), |seed| {
             run_lsb(
-                AdversarialQueuing::new(0.10, s, Placement::Front),
-                ReactiveAny::new(horizon / 20),
-                seed,
-                Limits::until_slot(horizon),
+                &scenarios::adversarial_queuing(0.10, s, Placement::Front)
+                    .jammer(ReactiveAny::new(horizon / 20))
+                    .until_slot(horizon)
+                    .seed(seed),
             )
         });
-        let packets =
-            results.iter().map(|r| r.totals.arrivals).sum::<u64>() / results.len() as u64;
+        let packets = results.iter().map(|r| r.totals.arrivals).sum::<u64>() / results.len() as u64;
         let max = results
             .iter()
             .flat_map(|r| r.access_counts())
             .max()
             .unwrap_or(0) as f64;
-        let per_slot = crate::common::mean(results.iter().map(|r| {
-            r.totals.accesses() as f64 / r.totals.active_slots.max(1) as f64
-        }));
+        let per_slot = crate::common::mean(
+            results
+                .iter()
+                .map(|r| r.totals.accesses() as f64 / r.totals.active_slots.max(1) as f64),
+        );
         table.row(vec![
             Cell::UInt(s),
             Cell::UInt(packets),

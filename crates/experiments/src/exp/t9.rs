@@ -11,12 +11,9 @@
 
 use lowsense::{LowSensing, Params};
 use lowsense_baselines::{ProbBeb, WindowedBeb};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
 use lowsense_sim::jamming::ReactiveTargeted;
 use lowsense_sim::packet::PacketId;
+use lowsense_sim::scenario::scenarios;
 
 use crate::common::mean;
 use crate::runner::{monte_carlo, Scale};
@@ -27,13 +24,10 @@ where
     P: lowsense_sim::protocol::SparseProtocol,
     F: FnMut(&mut lowsense_sim::rng::SimRng) -> P,
 {
-    let r = run_sparse(
-        &SimConfig::new(seed),
-        Batch::new(1),
-        ReactiveTargeted::new(PacketId(0), budget),
-        factory,
-        &mut NoHooks,
-    );
+    let r = scenarios::batch_drain(1)
+        .jammer(ReactiveTargeted::new(PacketId(0), budget))
+        .seed(seed)
+        .run_sparse(factory);
     debug_assert!(r.drained());
     r.totals.active_slots as f64
 }

@@ -7,16 +7,11 @@
 //! and the p99/p50 latency ratio — against the every-slot MWU and windowed
 //! BEB baselines.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu, WindowedBeb};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{run_grouped, run_sparse};
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
 use lowsense_sim::metrics::RunResult;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::mean;
+use crate::common::{mean, run_lsb};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
@@ -61,33 +56,27 @@ pub fn run(scale: Scale) -> Vec<Table> {
             (
                 "low-sensing",
                 monte_carlo(180_000 + n, scale.seeds(), |s| {
-                    digest(&run_sparse(
-                        &SimConfig::new(s),
-                        Batch::new(n),
-                        NoJam,
-                        |_| LowSensing::new(Params::default()),
-                        &mut NoHooks,
-                    ))
+                    digest(&run_lsb(&scenarios::protocol_faceoff(n).seed(s)))
                 }),
             ),
             (
                 "cjp-mwu",
                 monte_carlo(181_000 + n, scale.seeds(), |s| {
-                    digest(&run_grouped(&SimConfig::new(s), Batch::new(n), NoJam, |_| {
-                        CjpMwu::new(CjpConfig::default())
-                    }))
+                    digest(
+                        &scenarios::protocol_faceoff(n)
+                            .seed(s)
+                            .run_grouped(|_| CjpMwu::new(CjpConfig::default())),
+                    )
                 }),
             ),
             (
                 "beb-window",
                 monte_carlo(182_000 + n, scale.seeds(), |s| {
-                    digest(&run_sparse(
-                        &SimConfig::new(s),
-                        Batch::new(n),
-                        NoJam,
-                        |rng| WindowedBeb::new(2, 40, rng),
-                        &mut NoHooks,
-                    ))
+                    digest(
+                        &scenarios::protocol_faceoff(n)
+                            .seed(s)
+                            .run_sparse(|rng| WindowedBeb::new(2, 40, rng)),
+                    )
                 }),
             ),
         ];

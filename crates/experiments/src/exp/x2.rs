@@ -8,16 +8,11 @@
 //! similarly, while genie ALOHA (already at `C = 1`) succeeds in `O(1)`
 //! expected slots. This quantifies the "cold start" price of not knowing N.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::{SlottedAloha, WindowedBeb};
-use lowsense_sim::arrivals::Batch;
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::run_sparse;
-use lowsense_sim::hooks::NoHooks;
-use lowsense_sim::jamming::NoJam;
 use lowsense_sim::metrics::RunResult;
+use lowsense_sim::scenario::scenarios;
 
-use crate::common::{mean, pow2_sweep};
+use crate::common::{lsb, mean, pow2_sweep};
 use crate::runner::{monte_carlo, Scale};
 use crate::table::{Cell, Table};
 
@@ -40,35 +35,31 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "X2",
         "wake-up latency: slots until the first successful transmission (batch)",
     )
-    .columns(["N", "low-sensing", "beb-window", "aloha-genie", "lsb/ln²(N)"]);
+    .columns([
+        "N",
+        "low-sensing",
+        "beb-window",
+        "aloha-genie",
+        "lsb/ln²(N)",
+    ]);
 
     for &n in &ns {
         let lsb = mean(monte_carlo(190_000 + n, scale.seeds(), |s| {
-            first_success(&run_sparse(
-                &SimConfig::new(s),
-                Batch::new(n),
-                NoJam,
-                |_| LowSensing::new(Params::default()),
-                &mut NoHooks,
-            ))
+            first_success(&scenarios::batch_drain(n).seed(s).run_sparse(lsb()))
         }));
         let beb = mean(monte_carlo(191_000 + n, scale.seeds(), |s| {
-            first_success(&run_sparse(
-                &SimConfig::new(s),
-                Batch::new(n),
-                NoJam,
-                |rng| WindowedBeb::new(2, 40, rng),
-                &mut NoHooks,
-            ))
+            first_success(
+                &scenarios::batch_drain(n)
+                    .seed(s)
+                    .run_sparse(|rng| WindowedBeb::new(2, 40, rng)),
+            )
         }));
         let aloha = mean(monte_carlo(192_000 + n, scale.seeds(), |s| {
-            first_success(&run_sparse(
-                &SimConfig::new(s),
-                Batch::new(n),
-                NoJam,
-                |_| SlottedAloha::genie(n),
-                &mut NoHooks,
-            ))
+            first_success(
+                &scenarios::batch_drain(n)
+                    .seed(s)
+                    .run_sparse(|_| SlottedAloha::genie(n)),
+            )
         }));
         table.row(vec![
             Cell::UInt(n),

@@ -178,7 +178,11 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("T0", "demo").columns(["name", "n", "x"]);
-        t.row(vec![Cell::text("alpha"), Cell::UInt(12), Cell::Float(1.5, 2)]);
+        t.row(vec![
+            Cell::text("alpha"),
+            Cell::UInt(12),
+            Cell::Float(1.5, 2),
+        ]);
         t.row(vec![Cell::text("b"), Cell::UInt(3), Cell::Float(0.25, 2)]);
         t.note("a footnote");
         t

@@ -372,8 +372,7 @@ impl AdversarialQueuing {
                 self.pending = events;
             }
             Placement::Random => {
-                let mut slots: Vec<Slot> =
-                    (0..budget).map(|_| start + rng.range_u64(s)).collect();
+                let mut slots: Vec<Slot> = (0..budget).map(|_| start + rng.range_u64(s)).collect();
                 slots.sort_unstable();
                 let mut events: Vec<(Slot, u32)> = Vec::new();
                 for slot in slots {
@@ -521,7 +520,10 @@ mod tests {
         assert_eq!(t.next_arrival(3, &view(&totals), &mut rng), Some((5, 3)));
         assert_eq!(t.next_arrival(6, &view(&totals), &mut rng), Some((9, 2)));
         assert_eq!(t.next_arrival(10, &view(&totals), &mut rng), None);
-        assert_eq!(Trace::new(vec![(2, 1), (5, 3), (9, 2)]).total_hint(), Some(6));
+        assert_eq!(
+            Trace::new(vec![(2, 1), (5, 3), (9, 2)]).total_hint(),
+            Some(6)
+        );
     }
 
     #[test]

@@ -336,7 +336,9 @@ mod tests {
     fn geometric_moments() {
         let mut rng = SimRng::new(2);
         let p = 0.2;
-        let xs: Vec<f64> = (0..200_000).map(|_| geometric(&mut rng, p) as f64).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| geometric(&mut rng, p) as f64)
+            .collect();
         let (mean, var) = moments(&xs);
         // E[X] = (1-p)/p = 4, Var = (1-p)/p^2 = 20.
         assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
@@ -454,7 +456,9 @@ mod tests {
     #[test]
     fn poisson_small_lambda_moments() {
         let mut rng = SimRng::new(11);
-        let xs: Vec<f64> = (0..200_000).map(|_| poisson(&mut rng, 3.0) as f64).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| poisson(&mut rng, 3.0) as f64)
+            .collect();
         let (mean, var) = moments(&xs);
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
         assert!((var - 3.0).abs() < 0.15, "var {var}");
@@ -463,7 +467,9 @@ mod tests {
     #[test]
     fn poisson_large_lambda_moments() {
         let mut rng = SimRng::new(12);
-        let xs: Vec<f64> = (0..100_000).map(|_| poisson(&mut rng, 500.0) as f64).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| poisson(&mut rng, 500.0) as f64)
+            .collect();
         let (mean, var) = moments(&xs);
         assert!((mean - 500.0).abs() < 1.0, "mean {mean}");
         assert!((var - 500.0).abs() < 15.0, "var {var}");

@@ -6,18 +6,22 @@
 //! oracle for tests and small runs; large-scale experiments use the
 //! [sparse engine](crate::engine::sparse), which is validated against this
 //! one.
+//!
+//! The engine is a stepping strategy over the shared
+//! [`EngineCore`](crate::engine::EngineCore): it owns only the packet table
+//! and the slot-by-slot visit order.
 
-use crate::config::{ArrivalCursor, SimConfig};
 use crate::arrivals::ArrivalProcess;
-use crate::feedback::{resolve_slot, Intent, Observation, SlotOutcome};
+use crate::config::SimConfig;
+use crate::engine::core::EngineCore;
+use crate::feedback::{Intent, Observation, SlotOutcome};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
-use crate::metrics::{Metrics, RunResult};
+use crate::metrics::RunResult;
 use crate::packet::PacketId;
 use crate::protocol::Protocol;
 use crate::rng::SimRng;
 use crate::time::Slot;
-use crate::view::SystemView;
 
 /// Runs a dense simulation.
 ///
@@ -53,7 +57,7 @@ use crate::view::SystemView;
 pub fn run_dense<P, F, A, J, H>(
     cfg: &SimConfig,
     arrivals: A,
-    mut jammer: J,
+    jammer: J,
     mut factory: F,
     hooks: &mut H,
 ) -> RunResult
@@ -64,9 +68,7 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    let mut rng = SimRng::new(cfg.seed);
-    let mut metrics = Metrics::new(cfg.metrics);
-    let mut cursor = ArrivalCursor::new(arrivals);
+    let mut core = EngineCore::new(cfg, arrivals, jammer);
 
     // Packet table indexed by id; `active` lists live ids with `pos` as the
     // reverse index so departures are O(1).
@@ -79,22 +81,13 @@ where
     let mut listeners: Vec<PacketId> = Vec::new();
 
     let mut t: Slot = 0;
-    let mut steps: u64 = 0;
 
     loop {
-        if t > cfg.limits.max_slot || steps >= cfg.limits.max_steps {
+        if !core.within_limits(t) {
             break;
         }
         // Peek the next arrival with the pre-slot view.
-        let next_arrival = {
-            let view = SystemView {
-                slot: t,
-                backlog: active.len() as u64,
-                contention,
-                totals: &metrics.totals,
-            };
-            cursor.peek(t, &view, &mut rng)
-        };
+        let next_arrival = core.peek_arrival(t, active.len() as u64, contention);
         if active.is_empty() {
             match next_arrival {
                 Some((ta, _)) if ta > t => {
@@ -109,24 +102,14 @@ where
         }
 
         // Inject all arrival events that target slot t.
-        loop {
-            let event = {
-                let view = SystemView {
-                    slot: t,
-                    backlog: active.len() as u64,
-                    contention,
-                    totals: &metrics.totals,
-                };
-                cursor.peek(t, &view, &mut rng)
-            };
-            let Some((ta, count)) = event else { break };
+        while let Some((ta, count)) = core.peek_arrival(t, active.len() as u64, contention) {
             if ta != t {
                 break;
             }
-            cursor.consume();
+            core.consume_arrival();
             for _ in 0..count {
-                let id = metrics.note_inject(t);
-                let p = factory(&mut rng);
+                let id = core.note_inject(t);
+                let p = factory(&mut core.rng);
                 contention += p.send_probability();
                 hooks.on_inject(t, id, &p);
                 debug_assert_eq!(packets.len(), id.index());
@@ -141,37 +124,21 @@ where
         listeners.clear();
         for &id in &active {
             let p = packets[id.index()].as_mut().expect("active packet state");
-            match p.intent(&mut rng) {
+            match p.intent(&mut core.rng) {
                 Intent::Send => senders.push(id),
                 Intent::Listen => listeners.push(id),
                 Intent::Sleep => {}
             }
         }
 
-        // Jamming: adaptive decision first, then the reactive component that
-        // sees the sender set.
-        let jam = {
-            let view = SystemView {
-                slot: t,
-                backlog: active.len() as u64,
-                contention,
-                totals: &metrics.totals,
-            };
-            let mut jam = jammer.jams(t, &view, &mut rng);
-            if !jam && jammer.is_reactive() {
-                jam = jammer.reactive_jams(t, &senders, &view, &mut rng);
-            }
-            jam
-        };
-
-        let outcome = resolve_slot(jam, &senders);
-        metrics.note_slot(t, &outcome);
+        let jam = core.jam_decision(t, active.len() as u64, contention, &senders);
+        let outcome = core.resolve(t, jam, &senders);
         hooks.on_slot(t, &outcome);
         let fb = outcome.feedback();
 
         // Pure listeners.
         for &id in &listeners {
-            metrics.note_listen(id);
+            core.metrics.note_listen(id);
             let slot_obs = Observation {
                 slot: t,
                 feedback: fb,
@@ -191,7 +158,7 @@ where
             _ => None,
         };
         for &id in &senders {
-            metrics.note_send(id);
+            core.metrics.note_send(id);
             let succeeded = winner == Some(id);
             let slot_obs = Observation {
                 slot: t,
@@ -209,7 +176,7 @@ where
             let p = packets[id.index()].take().expect("winner state");
             contention -= p.send_probability();
             hooks.on_depart(t, id, &p);
-            metrics.note_depart(id, t);
+            core.metrics.note_depart(id, t);
             // O(1) removal from `active` via the position index.
             let i = pos[id.index()] as usize;
             let last = *active.last().expect("non-empty active list");
@@ -219,12 +186,12 @@ where
             }
         }
 
-        metrics.maybe_checkpoint(t, active.len() as u64, contention);
+        core.checkpoint(t, active.len() as u64, contention);
         t += 1;
-        steps += 1;
+        core.step_done();
     }
 
-    metrics.finish(cfg.seed)
+    core.finish()
 }
 
 #[cfg(test)]
@@ -269,7 +236,13 @@ mod tests {
 
     #[test]
     fn single_greedy_packet_succeeds_immediately() {
-        let r = run_dense(&SimConfig::new(1), Batch::new(1), NoJam, |_| Greedy, &mut NoHooks);
+        let r = run_dense(
+            &SimConfig::new(1),
+            Batch::new(1),
+            NoJam,
+            |_| Greedy,
+            &mut NoHooks,
+        );
         assert_eq!(r.totals.successes, 1);
         assert_eq!(r.totals.active_slots, 1);
         assert_eq!(r.totals.sends, 1);

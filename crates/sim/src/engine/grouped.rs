@@ -14,15 +14,15 @@
 //! equal its lifetime (a slot in which it sends counts once, as a send).
 
 use crate::arrivals::ArrivalProcess;
-use crate::config::{ArrivalCursor, SimConfig};
+use crate::config::SimConfig;
 use crate::dist::Binomial;
-use crate::feedback::{resolve_slot, Feedback, SlotOutcome};
+use crate::engine::core::EngineCore;
+use crate::feedback::{Feedback, SlotOutcome};
 use crate::jamming::Jammer;
-use crate::metrics::{Metrics, RunResult};
+use crate::metrics::RunResult;
 use crate::packet::PacketId;
 use crate::rng::SimRng;
 use crate::time::Slot;
-use crate::view::SystemView;
 
 /// A protocol whose packets listen in every slot and update on the common
 /// channel feedback only, independent of their own coin flips (except for
@@ -50,28 +50,20 @@ struct Group<P> {
 ///
 /// `factory` is invoked once per arrival event; every packet of the event
 /// shares the returned state (symmetry requires identical initial state).
-pub fn run_grouped<P, F, A, J>(
-    cfg: &SimConfig,
-    arrivals: A,
-    mut jammer: J,
-    mut factory: F,
-) -> RunResult
+pub fn run_grouped<P, F, A, J>(cfg: &SimConfig, arrivals: A, jammer: J, mut factory: F) -> RunResult
 where
     P: SymmetricProtocol,
     F: FnMut(&mut SimRng) -> P,
     A: ArrivalProcess,
     J: Jammer,
 {
-    let mut rng = SimRng::new(cfg.seed);
-    let mut metrics = Metrics::new(cfg.metrics);
-    let mut cursor = ArrivalCursor::new(arrivals);
+    let mut core = EngineCore::new(cfg, arrivals, jammer);
     let mut groups: Vec<Group<P>> = Vec::new();
     let mut senders: Vec<PacketId> = Vec::new();
     let mut t: Slot = 0;
-    let mut steps: u64 = 0;
 
     loop {
-        if t > cfg.limits.max_slot || steps >= cfg.limits.max_steps {
+        if !core.within_limits(t) {
             break;
         }
         let backlog: u64 = groups.iter().map(|g| g.members.len() as u64).sum();
@@ -79,15 +71,7 @@ where
             .iter()
             .map(|g| g.members.len() as f64 * g.state.send_probability())
             .sum();
-        let next_arrival = {
-            let view = SystemView {
-                slot: t,
-                backlog,
-                contention,
-                totals: &metrics.totals,
-            };
-            cursor.peek(t, &view, &mut rng)
-        };
+        let next_arrival = core.peek_arrival(t, backlog, contention);
         if groups.is_empty() {
             match next_arrival {
                 Some((ta, _)) if ta > t => {
@@ -100,23 +84,13 @@ where
         }
 
         // Inject arrival events targeting slot t (one group per event).
-        loop {
-            let event = {
-                let view = SystemView {
-                    slot: t,
-                    backlog,
-                    contention,
-                    totals: &metrics.totals,
-                };
-                cursor.peek(t, &view, &mut rng)
-            };
-            let Some((ta, count)) = event else { break };
+        while let Some((ta, count)) = core.peek_arrival(t, backlog, contention) {
             if ta != t {
                 break;
             }
-            cursor.consume();
-            let state = factory(&mut rng);
-            let members: Vec<PacketId> = (0..count).map(|_| metrics.note_inject(t)).collect();
+            core.consume_arrival();
+            let state = factory(&mut core.rng);
+            let members: Vec<PacketId> = (0..count).map(|_| core.note_inject(t)).collect();
             groups.push(Group {
                 state,
                 members,
@@ -136,19 +110,19 @@ where
             if n == 0 {
                 continue;
             }
-            let k = Binomial::new(n, p).sample(&mut rng) as usize;
+            let k = Binomial::new(n, p).sample(&mut core.rng) as usize;
             if k == 0 {
                 continue;
             }
             // Partial Fisher–Yates: the first k members (after swaps) send.
             let len = g.members.len();
             for i in 0..k {
-                let j = i + rng.range_usize(len - i);
+                let j = i + core.rng.range_usize(len - i);
                 g.members.swap(i, j);
             }
             for &id in &g.members[..k] {
                 senders.push(id);
-                metrics.note_send(id);
+                core.metrics.note_send(id);
             }
             if senders.len() == k {
                 // All senders so far came from this group.
@@ -156,25 +130,13 @@ where
             }
         }
 
-        let jam = {
-            let view = SystemView {
-                slot: t,
-                backlog,
-                contention,
-                totals: &metrics.totals,
-            };
-            let mut jam = jammer.jams(t, &view, &mut rng);
-            if !jam && jammer.is_reactive() {
-                jam = jammer.reactive_jams(t, &senders, &view, &mut rng);
-            }
-            jam
-        };
-        let outcome = resolve_slot(jam, &senders);
-        metrics.note_slot(t, &outcome);
+        let jam = core.jam_decision(t, backlog, contention, &senders);
+        let outcome = core.resolve(t, jam, &senders);
 
         // Bulk listen accounting: every live member listens; senders' access
         // is already counted as a send.
-        metrics.note_bulk_accesses(0, live.saturating_sub(senders.len() as u64));
+        core.metrics
+            .note_bulk_accesses(0, live.saturating_sub(senders.len() as u64));
 
         if let SlotOutcome::Success { id } = outcome {
             let gi = winner_group.expect("success implies a sender group");
@@ -185,9 +147,9 @@ where
                 .position(|&m| m == id)
                 .expect("winner in its group");
             g.members.swap_remove(pos);
-            metrics.note_depart(id, t);
+            core.metrics.note_depart(id, t);
             // Lifetime slots minus sends = pure listens (reconstructed).
-            metrics.reconcile_listens(id, t - g.injected + 1);
+            core.metrics.reconcile_listens(id, t - g.injected + 1);
         }
 
         // Common feedback update for every cohort.
@@ -202,22 +164,23 @@ where
             .iter()
             .map(|g| g.members.len() as f64 * g.state.send_probability())
             .sum();
-        metrics.maybe_checkpoint(t, backlog_after, contention_after);
+        core.checkpoint(t, backlog_after, contention_after);
         t += 1;
-        steps += 1;
+        core.step_done();
     }
 
     // Packets still alive at stop: reconcile their listens up to last_slot.
-    let last = metrics.totals.last_slot;
+    let last = core.metrics.totals.last_slot;
     let live: Vec<(PacketId, Slot)> = groups
         .iter()
         .flat_map(|g| g.members.iter().map(move |&id| (id, g.injected)))
         .collect();
     for (id, injected) in live {
-        metrics.reconcile_listens(id, last.saturating_sub(injected) + 1);
+        core.metrics
+            .reconcile_listens(id, last.saturating_sub(injected) + 1);
     }
 
-    metrics.finish(cfg.seed)
+    core.finish()
 }
 
 #[cfg(test)]
@@ -255,12 +218,9 @@ mod tests {
 
     #[test]
     fn batch_drains_and_accounts() {
-        let r = run_grouped(
-            &SimConfig::new(1),
-            Batch::new(50),
-            NoJam,
-            |_| FixedSym(0.02),
-        );
+        let r = run_grouped(&SimConfig::new(1), Batch::new(50), NoJam, |_| {
+            FixedSym(0.02)
+        });
         assert_eq!(r.totals.successes, 50);
         assert!(r.drained());
         let t = &r.totals;
@@ -272,12 +232,9 @@ mod tests {
 
     #[test]
     fn listens_equal_lifetime_minus_sends() {
-        let r = run_grouped(
-            &SimConfig::new(2),
-            Batch::new(10),
-            NoJam,
-            |_| FixedSym(0.05),
-        );
+        let r = run_grouped(&SimConfig::new(2), Batch::new(10), NoJam, |_| {
+            FixedSym(0.05)
+        });
         let ps = r.per_packet.as_ref().unwrap();
         for p in ps {
             let lifetime = p.departed.unwrap() - p.injected + 1;
@@ -287,12 +244,9 @@ mod tests {
 
     #[test]
     fn totals_listens_match_member_slot_sum() {
-        let r = run_grouped(
-            &SimConfig::new(3),
-            Batch::new(10),
-            NoJam,
-            |_| FixedSym(0.05),
-        );
+        let r = run_grouped(&SimConfig::new(3), Batch::new(10), NoJam, |_| {
+            FixedSym(0.05)
+        });
         // Aggregate accesses == Σ per-packet accesses (all delivered).
         let per: u64 = r.access_counts().iter().sum();
         assert_eq!(per, r.totals.accesses());

@@ -1,6 +1,10 @@
 //! Simulation engines.
 //!
-//! Three engines share one semantics (the model of paper §1.1):
+//! Three engines share one semantics (the model of paper §1.1) and one
+//! substrate: every engine is a *stepping strategy* over the shared
+//! [`EngineCore`], which owns the RNG, arrival cursor, jamming decision
+//! order, slot resolution, metrics, and limits. The strategies differ only
+//! in their per-packet bookkeeping and slot visit order:
 //!
 //! * [`dense`] — slot-by-slot reference engine, `O(packets)` per slot. The
 //!   oracle the others are validated against.
@@ -9,13 +13,19 @@
 //! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
 //!   listen every slot, `O(groups)` per slot.
 //!
+//! Most code should not call the `run_*` entry points directly but go
+//! through the [scenario layer](crate::scenario), which composes arrivals,
+//! jamming, limits, and metrics into named, reusable run descriptions.
+//!
 //! [`SparseProtocol`]: crate::protocol::SparseProtocol
 //! [`SymmetricProtocol`]: grouped::SymmetricProtocol
 
+pub mod core;
 pub mod dense;
 pub mod grouped;
 pub mod sparse;
 
+pub use self::core::EngineCore;
 pub use dense::run_dense;
 pub use grouped::{run_grouped, SymmetricProtocol};
 pub use sparse::run_sparse;

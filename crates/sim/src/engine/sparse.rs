@@ -16,16 +16,16 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::arrivals::ArrivalProcess;
-use crate::config::{ArrivalCursor, SimConfig};
-use crate::feedback::{resolve_slot, Observation, SlotOutcome};
+use crate::config::SimConfig;
+use crate::engine::core::EngineCore;
+use crate::feedback::{Observation, SlotOutcome};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
-use crate::metrics::{Metrics, RunResult};
+use crate::metrics::RunResult;
 use crate::packet::PacketId;
 use crate::protocol::SparseProtocol;
 use crate::rng::SimRng;
 use crate::time::{offset, Slot};
-use crate::view::SystemView;
 
 /// Runs an event-driven simulation.
 ///
@@ -67,7 +67,7 @@ use crate::view::SystemView;
 pub fn run_sparse<P, F, A, J, H>(
     cfg: &SimConfig,
     arrivals: A,
-    mut jammer: J,
+    jammer: J,
     mut factory: F,
     hooks: &mut H,
 ) -> RunResult
@@ -78,9 +78,7 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    let mut rng = SimRng::new(cfg.seed);
-    let mut metrics = Metrics::new(cfg.metrics);
-    let mut cursor = ArrivalCursor::new(arrivals);
+    let mut core = EngineCore::new(cfg, arrivals, jammer);
 
     let mut packets: Vec<Option<P>> = Vec::new();
     // Each live packet has exactly one scheduled access event in the heap.
@@ -94,103 +92,73 @@ where
 
     // First slot not yet accounted.
     let mut now: Slot = 0;
-    let mut steps: u64 = 0;
+
+    // Accounts a silent gap `[from, to)`, forwarding active gaps to hooks.
+    fn gap<A: ArrivalProcess, J: Jammer, P, H: Hooks<P>>(
+        core: &mut EngineCore<A, J>,
+        hooks: &mut H,
+        from: Slot,
+        to: Slot,
+        backlog: u64,
+        contention: f64,
+    ) {
+        if let Some(jammed) = core.account_gap(from, to, backlog, contention) {
+            hooks.on_gap(from, to, jammed);
+        }
+    }
 
     loop {
-        if steps >= cfg.limits.max_steps {
+        if core.steps_exhausted() {
             break;
         }
         let next_access: Option<Slot> = heap.peek().map(|Reverse((s, _))| *s);
-        let next_arrival: Option<Slot> = {
-            let view = SystemView {
-                slot: now,
-                backlog: active_count,
-                contention,
-                totals: &metrics.totals,
-            };
-            cursor.peek(now, &view, &mut rng).map(|(s, _)| s)
-        };
+        let next_arrival: Option<Slot> = core
+            .peek_arrival(now, active_count, contention)
+            .map(|(s, _)| s);
         let te = match (next_access, next_arrival) {
             (None, None) => {
                 // Nothing will ever happen again. If packets remain (a
                 // degenerate protocol that never accesses), the rest of the
                 // horizon is provably silent: account it in bulk, then stop.
                 if active_count > 0 {
-                    let end = offset(cfg.limits.max_slot, 1);
+                    let end = offset(core.limits().max_slot, 1);
                     if end > now {
-                        account_gap(
-                            now,
-                            end,
-                            active_count,
-                            contention,
-                            &mut jammer,
-                            &mut metrics,
-                            hooks,
-                            &mut rng,
-                        );
+                        gap(&mut core, hooks, now, end, active_count, contention);
                     }
                 }
                 break;
             }
             (a, b) => a.unwrap_or(Slot::MAX).min(b.unwrap_or(Slot::MAX)),
         };
-        if te > cfg.limits.max_slot {
+        if te > core.limits().max_slot {
             // Account the remaining gap up to the limit, then stop.
-            let end = offset(cfg.limits.max_slot, 1);
+            let end = offset(core.limits().max_slot, 1);
             if end > now {
-                account_gap(
-                    now,
-                    end,
-                    active_count,
-                    contention,
-                    &mut jammer,
-                    &mut metrics,
-                    hooks,
-                    &mut rng,
-                );
+                gap(&mut core, hooks, now, end, active_count, contention);
             }
             break;
         }
 
         // Account the silent gap [now, te).
         if te > now {
-            account_gap(
-                now,
-                te,
-                active_count,
-                contention,
-                &mut jammer,
-                &mut metrics,
-                hooks,
-                &mut rng,
-            );
-            metrics.maybe_checkpoint(te - 1, active_count, contention);
+            gap(&mut core, hooks, now, te, active_count, contention);
+            core.checkpoint(te - 1, active_count, contention);
         }
 
         // Inject all arrivals scheduled for slot te.
-        loop {
-            let event = {
-                let view = SystemView {
-                    slot: te,
-                    backlog: active_count,
-                    contention,
-                    totals: &metrics.totals,
-                };
-                cursor.peek(te, &view, &mut rng)
-            };
-            let Some((ta, count)) = event else { break };
+        while let Some((ta, count)) = core.peek_arrival(te, active_count, contention) {
             if ta != te {
                 break;
             }
-            cursor.consume();
+            core.consume_arrival();
             for _ in 0..count {
-                let id = metrics.note_inject(te);
-                let mut p = factory(&mut rng);
+                let id = core.note_inject(te);
+                let mut p = factory(&mut core.rng);
                 contention += p.send_probability();
                 hooks.on_inject(te, id, &p);
                 active_count += 1;
                 // Fresh packets may access from their injection slot onward.
-                let delay = p.next_access_delay(&mut rng);
+                let delay = p.next_access_delay(&mut core.rng);
                 debug_assert_eq!(packets.len(), id.index());
                 packets.push(Some(p));
                 if delay != u64::MAX {
@@ -213,26 +181,13 @@ where
             // Arrival-only slot: nobody accesses; resolve as empty/jammed
             // for accounting (no listener exists to observe it).
             if active_count > 0 {
-                let jam = {
-                    let view = SystemView {
-                        slot: te,
-                        backlog: active_count,
-                        contention,
-                        totals: &metrics.totals,
-                    };
-                    jammer.jams(te, &view, &mut rng)
-                };
-                let outcome = if jam {
-                    SlotOutcome::Jammed { senders: 0 }
-                } else {
-                    SlotOutcome::Empty
-                };
-                metrics.note_slot(te, &outcome);
+                let jam = core.adaptive_jam(te, active_count, contention);
+                let outcome = core.resolve(te, jam, &[]);
                 hooks.on_slot(te, &outcome);
-                metrics.maybe_checkpoint(te, active_count, contention);
+                core.checkpoint(te, active_count, contention);
             }
             now = te + 1;
-            steps += 1;
+            core.step_done();
             continue;
         }
 
@@ -241,35 +196,20 @@ where
         listeners.clear();
         for &id in &participants {
             let p = packets[id.index()].as_mut().expect("participant state");
-            if p.send_on_access(&mut rng) {
+            if p.send_on_access(&mut core.rng) {
                 senders.push(id);
             } else {
                 listeners.push(id);
             }
         }
 
-        // Jamming: adaptive first, then reactive (sender set visible).
-        let jam = {
-            let view = SystemView {
-                slot: te,
-                backlog: active_count,
-                contention,
-                totals: &metrics.totals,
-            };
-            let mut jam = jammer.jams(te, &view, &mut rng);
-            if !jam && jammer.is_reactive() {
-                jam = jammer.reactive_jams(te, &senders, &view, &mut rng);
-            }
-            jam
-        };
-
-        let outcome = resolve_slot(jam, &senders);
-        metrics.note_slot(te, &outcome);
+        let jam = core.jam_decision(te, active_count, contention, &senders);
+        let outcome = core.resolve(te, jam, &senders);
         hooks.on_slot(te, &outcome);
         let fb = outcome.feedback();
 
         for &id in &listeners {
-            metrics.note_listen(id);
+            core.metrics.note_listen(id);
             let obs = Observation {
                 slot: te,
                 feedback: fb,
@@ -281,7 +221,7 @@ where
             p.observe(&obs);
             contention += p.send_probability() - before.send_probability();
             hooks.on_observe(te, id, &before, p);
-            let delay = p.next_access_delay(&mut rng);
+            let delay = p.next_access_delay(&mut core.rng);
             if delay != u64::MAX {
                 heap.push(Reverse((offset(te + 1, delay), id.0)));
             }
@@ -292,7 +232,7 @@ where
             _ => None,
         };
         for &id in &senders {
-            metrics.note_send(id);
+            core.metrics.note_send(id);
             let succeeded = winner == Some(id);
             let obs = Observation {
                 slot: te,
@@ -306,7 +246,7 @@ where
             contention += p.send_probability() - before.send_probability();
             hooks.on_observe(te, id, &before, p);
             if !succeeded {
-                let delay = p.next_access_delay(&mut rng);
+                let delay = p.next_access_delay(&mut core.rng);
                 if delay != u64::MAX {
                     heap.push(Reverse((offset(te + 1, delay), id.0)));
                 }
@@ -316,47 +256,16 @@ where
             let p = packets[id.index()].take().expect("winner state");
             contention -= p.send_probability();
             hooks.on_depart(te, id, &p);
-            metrics.note_depart(id, te);
+            core.metrics.note_depart(id, te);
             active_count -= 1;
         }
 
-        metrics.maybe_checkpoint(te, active_count, contention);
+        core.checkpoint(te, active_count, contention);
         now = te + 1;
-        steps += 1;
+        core.step_done();
     }
 
-    metrics.finish(cfg.seed)
-}
-
-/// Accounts a gap `[from, to)` with no channel accesses.
-#[allow(clippy::too_many_arguments)]
-fn account_gap<J: Jammer, H, P>(
-    from: Slot,
-    to: Slot,
-    active_count: u64,
-    contention: f64,
-    jammer: &mut J,
-    metrics: &mut Metrics,
-    hooks: &mut H,
-    rng: &mut SimRng,
-) where
-    H: Hooks<P>,
-{
-    if active_count > 0 {
-        let jammed = {
-            let view = SystemView {
-                slot: from,
-                backlog: active_count,
-                contention,
-                totals: &metrics.totals,
-            };
-            jammer.count_range(from, to, &view, rng)
-        };
-        metrics.note_gap(from, to, true, jammed);
-        hooks.on_gap(from, to, jammed);
-    } else {
-        metrics.note_gap(from, to, false, 0);
-    }
+    core.finish()
 }
 
 #[cfg(test)]
@@ -509,13 +418,7 @@ mod tests {
     #[test]
     fn max_slot_limit_stops_run() {
         let cfg = SimConfig::new(8).limits(Limits::until_slot(500));
-        let r = run_sparse(
-            &cfg,
-            Batch::new(3),
-            NoJam,
-            |_| Fixed(1e-9),
-            &mut NoHooks,
-        );
+        let r = run_sparse(&cfg, Batch::new(3), NoJam, |_| Fixed(1e-9), &mut NoHooks);
         assert_eq!(r.totals.successes, 0);
         assert_eq!(r.totals.active_slots, 501); // slots 0..=500
         assert_eq!(r.totals.backlog(), 3);

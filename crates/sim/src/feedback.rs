@@ -88,7 +88,10 @@ impl SlotOutcome {
     /// (a success, or a jammed slot which no algorithm could have used).
     #[inline]
     pub fn is_useful(&self) -> bool {
-        matches!(self, SlotOutcome::Success { .. } | SlotOutcome::Jammed { .. })
+        matches!(
+            self,
+            SlotOutcome::Success { .. } | SlotOutcome::Jammed { .. }
+        )
     }
 }
 

@@ -29,13 +29,8 @@ pub trait Jammer {
 
     /// Number of jammed slots in `[from, to)` given that no packet accesses
     /// the channel anywhere in the range.
-    fn count_range(
-        &mut self,
-        from: Slot,
-        to: Slot,
-        view: &SystemView<'_>,
-        rng: &mut SimRng,
-    ) -> u64;
+    fn count_range(&mut self, from: Slot, to: Slot, view: &SystemView<'_>, rng: &mut SimRng)
+        -> u64;
 
     /// Reactive decision for slot `t`, taken *after* seeing the sender set.
     /// Only consulted when [`Jammer::is_reactive`] returns `true`, and only
@@ -329,9 +324,7 @@ impl BacklogJam {
     }
 
     fn active(&self, view: &SystemView<'_>) -> bool {
-        view.backlog > 0
-            && view.backlog <= self.max_backlog
-            && self.remaining != Some(0)
+        view.backlog > 0 && view.backlog <= self.max_backlog && self.remaining != Some(0)
     }
 
     fn spend(&mut self, k: u64) -> u64 {
@@ -600,11 +593,7 @@ mod tests {
         for (a, b) in [(0, 25), (3, 13), (5, 5), (2, 3), (17, 23)] {
             let mut j2 = PeriodicBurst::new(10, 3, 2);
             let expect = (a..b).filter(|&t| j2.jams(t, &v, &mut rng)).count() as u64;
-            assert_eq!(
-                j.count_range(a, b, &v, &mut rng),
-                expect,
-                "range [{a},{b})"
-            );
+            assert_eq!(j.count_range(a, b, &v, &mut rng), expect, "range [{a},{b})");
         }
     }
 
@@ -654,8 +643,14 @@ mod tests {
         let totals = Totals::default();
         let mut rng = SimRng::new(7);
         let mut j = BacklogJam::new(1.0, 3);
-        assert!(!j.jams(0, &dummy_view(&totals, 0), &mut rng), "idle: no jam");
-        assert!(!j.jams(0, &dummy_view(&totals, 10), &mut rng), "crowded: no jam");
+        assert!(
+            !j.jams(0, &dummy_view(&totals, 0), &mut rng),
+            "idle: no jam"
+        );
+        assert!(
+            !j.jams(0, &dummy_view(&totals, 10), &mut rng),
+            "crowded: no jam"
+        );
         assert!(j.jams(0, &dummy_view(&totals, 2), &mut rng), "endgame: jam");
         assert_eq!(j.count_range(0, 10, &dummy_view(&totals, 10), &mut rng), 0);
         assert_eq!(j.count_range(0, 10, &dummy_view(&totals, 1), &mut rng), 10);

@@ -57,7 +57,8 @@
 //! | [`time`], [`packet`], [`feedback`] | model vocabulary |
 //! | [`protocol`] | [`Protocol`](protocol::Protocol) / [`SparseProtocol`](protocol::SparseProtocol) traits |
 //! | [`arrivals`], [`jamming`] | adversary strategies |
-//! | [`engine`] | dense / sparse / grouped engines |
+//! | [`engine`] | shared [`EngineCore`](engine::EngineCore) + dense / sparse / grouped strategies |
+//! | [`scenario`] | declarative run descriptions + the canonical scenario registry |
 //! | [`metrics`] | totals, per-packet stats, trajectory series |
 //! | [`hooks`] | zero-cost analysis callbacks |
 //! | [`trace`] | bounded event log for debugging protocol implementations |
@@ -76,6 +77,7 @@ pub mod metrics;
 pub mod packet;
 pub mod protocol;
 pub mod rng;
+pub mod scenario;
 pub mod time;
 pub mod trace;
 pub mod view;
@@ -98,6 +100,7 @@ pub mod prelude {
     pub use crate::packet::{PacketId, PacketStats};
     pub use crate::protocol::{Protocol, SparseProtocol};
     pub use crate::rng::SimRng;
+    pub use crate::scenario::{scenarios, DynScenario, Scenario};
     pub use crate::time::Slot;
     pub use crate::view::SystemView;
 }

@@ -381,10 +381,7 @@ mod tests {
         assert_eq!(a, PacketId(0));
         assert_eq!(b, PacketId(1));
         assert_eq!(m.totals.max_backlog, 2);
-        m.note_slot(
-            0,
-            &SlotOutcome::Success { id: a },
-        );
+        m.note_slot(0, &SlotOutcome::Success { id: a });
         m.note_depart(a, 0);
         assert_eq!(m.totals.backlog(), 1);
     }

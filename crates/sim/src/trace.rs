@@ -207,7 +207,10 @@ mod tests {
         assert_eq!(log.events().len(), 3);
         assert_eq!(log.dropped(), 2);
         // Oldest retained event is slot 2.
-        assert!(matches!(log.events().next(), Some(Event::Slot { slot: 2, .. })));
+        assert!(matches!(
+            log.events().next(),
+            Some(Event::Slot { slot: 2, .. })
+        ));
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn polylog_exponent(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     (slope, r2)
 }
 
-fn log_transform(
-    xs: &[f64],
-    ys: &[f64],
-    fx: impl Fn(f64) -> f64,
-) -> (Vec<f64>, Vec<f64>) {
+fn log_transform(xs: &[f64], ys: &[f64], fx: impl Fn(f64) -> f64) -> (Vec<f64>, Vec<f64>) {
     assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
     let lx: Vec<f64> = xs
         .iter()

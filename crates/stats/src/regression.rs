@@ -27,11 +27,7 @@ pub fn ols(xs: &[f64], ys: &[f64]) -> Fit {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     assert!(sxx > 0.0, "x must not be constant");
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
@@ -74,7 +70,14 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 2.0 * x + if (x as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|&x| {
+                2.0 * x
+                    + if (x as u64).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+            })
             .collect();
         let f = ols(&xs, &ys);
         assert!((f.slope - 2.0).abs() < 0.01);

@@ -16,20 +16,23 @@ use lowsense_sim::prelude::*;
 fn main() {
     let s = 256u64;
     let horizon = 400 * s;
-    println!("adversarial-queuing stream: λ_arr=0.12 bursts + λ_jam=0.04, S={s}, horizon {horizon}\n");
-
-    let result = run_sparse(
-        &SimConfig::new(11)
-            .limits(Limits::until_slot(horizon))
-            .metrics(MetricsConfig::default().with_series(1.35)),
-        AdversarialQueuing::new(0.12, s, Placement::Front),
-        WindowPrefixJam::new(0.04, s),
-        |_rng| LowSensing::new(Params::default()),
-        &mut NoHooks,
+    println!(
+        "adversarial-queuing stream: λ_arr=0.12 bursts + λ_jam=0.04, S={s}, horizon {horizon}\n"
     );
 
+    // One scenario value describes the whole workload; it is reused (with a
+    // longer horizon) for the scale-invariance check below.
+    let scenario = scenarios::queuing_jammed(0.12, 0.04, s)
+        .until_slot(horizon)
+        .series(1.35)
+        .seed(11);
+    let result = scenario.run_sparse(|_rng| LowSensing::new(Params::default()));
+
     println!("backlog timeline (log-spaced checkpoints):");
-    println!("{:>10}  {:>8}  {:>10}  backlog", "slot", "backlog", "implicit_tp");
+    println!(
+        "{:>10}  {:>8}  {:>10}  backlog",
+        "slot", "backlog", "implicit_tp"
+    );
     for p in result.series.iter().filter(|p| p.active_slots >= 64) {
         let bar = "#".repeat((p.backlog as usize / 4).min(60));
         println!(
@@ -54,13 +57,10 @@ fn main() {
     );
 
     // The bound scales with S, not with time: double the horizon, same backlog.
-    let double = run_sparse(
-        &SimConfig::new(11).limits(Limits::until_slot(2 * horizon)),
-        AdversarialQueuing::new(0.12, s, Placement::Front),
-        WindowPrefixJam::new(0.04, s),
-        |_rng| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    );
+    let double = scenario
+        .clone()
+        .until_slot(2 * horizon)
+        .run_sparse(|_rng| LowSensing::new(Params::default()));
     println!(
         "  …and at 2× the horizon the max backlog is {} — bounded by S, not by time",
         double.totals.max_backlog

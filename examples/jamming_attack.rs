@@ -19,14 +19,11 @@ use lowsense::{LowSensing, Params};
 use lowsense_baselines::WindowedBeb;
 use lowsense_sim::prelude::*;
 
-fn lsb_run<J: Jammer>(jam: J, seed: u64) -> RunResult {
-    run_sparse(
-        &SimConfig::new(seed),
-        Batch::new(512),
-        jam,
-        |_rng| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    )
+fn lsb_run<J: Jammer + Clone>(jam: J, seed: u64) -> RunResult {
+    scenarios::batch_drain(512)
+        .jammer(jam)
+        .seed(seed)
+        .run_sparse(|_rng| LowSensing::new(Params::default()))
 }
 
 fn main() {
@@ -63,13 +60,10 @@ fn main() {
     // 3. Reactive sniper vs one victim.
     let budget = 12u64;
     let lsb_sniped = lsb_run(ReactiveTargeted::new(PacketId(0), budget), 3);
-    let beb_sniped = run_sparse(
-        &SimConfig::new(3),
-        Batch::new(512),
-        ReactiveTargeted::new(PacketId(0), budget),
-        |rng| WindowedBeb::new(2, 40, rng),
-        &mut NoHooks,
-    );
+    let beb_sniped = scenarios::batch_drain(512)
+        .jammer(ReactiveTargeted::new(PacketId(0), budget))
+        .seed(3)
+        .run_sparse(|rng| WindowedBeb::new(2, 40, rng));
     let victim_latency = |r: &RunResult| {
         r.per_packet.as_ref().unwrap()[0]
             .latency()

@@ -12,13 +12,11 @@ fn main() {
     let n = 1000u64;
     println!("LOW-SENSING BACKOFF quickstart: batch of {n} packets, no jamming\n");
 
-    let result = run_sparse(
-        &SimConfig::new(42),
-        Batch::new(n),
-        NoJam,
-        |_rng| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    );
+    // A scenario is a named, reusable run description: arrivals × jammer ×
+    // limits × metrics × seed. The protocol joins at the run call.
+    let result = scenarios::batch_drain(n)
+        .seed(42)
+        .run_sparse(|_rng| LowSensing::new(Params::default()));
 
     assert!(result.drained(), "all packets must be delivered");
     let t = &result.totals;

@@ -29,21 +29,19 @@ fn main() {
     let total_readings = 20_000u64;
     println!("sensor network: bursty readings (λ=0.1, S={granularity}), periodic interference\n");
 
-    let lsb = run_sparse(
-        &SimConfig::new(7),
-        AdversarialQueuing::new(0.1, granularity, Placement::Front).with_total(total_readings),
-        PeriodicBurst::new(128, 8, 17),
-        |_rng| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    );
-    let cjp = run_grouped(
-        &SimConfig::new(7),
-        AdversarialQueuing::new(0.1, granularity, Placement::Front).with_total(total_readings),
-        PeriodicBurst::new(128, 8, 17),
-        |_rng| CjpMwu::new(CjpConfig::default()),
-    );
+    // Both protocols face the identical scenario — one description, two
+    // engines, paired seeds.
+    let scenario =
+        scenarios::adversarial_queuing_total(0.1, granularity, Placement::Front, total_readings)
+            .jammer(PeriodicBurst::new(128, 8, 17))
+            .seed(7);
+    let lsb = scenario.run_sparse(|_rng| LowSensing::new(Params::default()));
+    let cjp = scenario.run_grouped(|_rng| CjpMwu::new(CjpConfig::default()));
 
-    for (name, r) in [("LOW-SENSING BACKOFF", &lsb), ("every-slot MWU (CJP)", &cjp)] {
+    for (name, r) in [
+        ("LOW-SENSING BACKOFF", &lsb),
+        ("every-slot MWU (CJP)", &cjp),
+    ] {
         assert!(r.drained(), "{name}: all readings delivered");
         let t = &r.totals;
         let accesses = r.access_counts();

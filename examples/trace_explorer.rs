@@ -82,13 +82,9 @@ fn main() {
         every: (n / 256).max(1),
         since: 0,
     };
-    let result = run_sparse(
-        &SimConfig::new(seed),
-        Batch::new(n),
-        NoJam,
-        |_rng| LowSensing::new(Params::default()),
-        &mut trace,
-    );
+    let result = scenarios::batch_drain(n)
+        .seed(seed)
+        .run_sparse_hooked(|_rng| LowSensing::new(Params::default()), &mut trace);
     eprintln!(
         "# drained {} packets in {} active slots (throughput {:.3}); occupancy low/good/high = {:?}",
         result.totals.successes,

@@ -1,63 +1,37 @@
-//! End-to-end: every protocol × representative workloads, plus the
-//! experiment registry.
+//! End-to-end: every protocol × representative workloads (all constructed
+//! through the scenario layer), plus the experiment registry.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::{
     CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
 };
 use lowsense_sim::prelude::*;
 
-fn cfg(seed: u64) -> SimConfig {
-    SimConfig::new(seed)
-}
+use lowsense::lsb;
 
 #[test]
 fn lsb_drains_all_workload_shapes() {
     let n = 300u64;
-    let runs: Vec<RunResult> = vec![
-        run_sparse(&cfg(1), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks),
-        run_sparse(
-            &cfg(2),
-            Bernoulli::new(0.02).with_total(n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        ),
-        run_sparse(
-            &cfg(3),
-            PoissonArrivals::new(0.05).with_total(n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        ),
-        run_sparse(
-            &cfg(4),
-            AdversarialQueuing::new(0.1, 64, Placement::Random).with_total(n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        ),
-        run_sparse(
-            &cfg(5),
-            Trace::new(vec![(0, 100), (500, 100), (5000, 100)]),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        ),
-        run_sparse(
-            &cfg(6),
-            BacklogTriggered::new(50, n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        ),
+    let workloads: Vec<DynScenario> = vec![
+        scenarios::batch_drain(n).seed(1).boxed(),
+        scenarios::bernoulli_stream(0.02, n).seed(2).boxed(),
+        scenarios::poisson_stream(0.05, n).seed(3).boxed(),
+        scenarios::adversarial_queuing_total(0.1, 64, Placement::Random, n)
+            .seed(4)
+            .boxed(),
+        Scenario::named("three-bursts")
+            .arrivals(Trace::new(vec![(0, 100), (500, 100), (5000, 100)]))
+            .seed(5)
+            .boxed(),
+        scenarios::saturated(50, n).seed(6).boxed(),
     ];
-    for (i, r) in runs.iter().enumerate() {
-        assert!(r.drained(), "workload {i} did not drain");
-        assert_eq!(r.totals.arrivals, n, "workload {i} arrival count");
+    for scenario in &workloads {
+        let r = scenario.run_sparse(lsb());
+        let name = scenario.name();
+        assert!(r.drained(), "{name} did not drain");
+        assert_eq!(r.totals.arrivals, n, "{name} arrival count");
         assert!(
             r.totals.throughput() > 0.05,
-            "workload {i} throughput {}",
+            "{name} throughput {}",
             r.totals.throughput()
         );
     }
@@ -65,24 +39,36 @@ fn lsb_drains_all_workload_shapes() {
 
 #[test]
 fn every_baseline_drains_a_batch() {
-    let n = 200u64;
-    assert!(run_sparse(&cfg(10), Batch::new(n), NoJam, |rng| WindowedBeb::new(2, 30, rng), &mut NoHooks).drained());
-    assert!(run_sparse(&cfg(11), Batch::new(n), NoJam, |_| ProbBeb::new(0.5), &mut NoHooks).drained());
-    assert!(run_sparse(&cfg(12), Batch::new(n), NoJam, |rng| PolynomialBackoff::new(2, 2, rng), &mut NoHooks).drained());
-    assert!(run_sparse(&cfg(13), Batch::new(n), NoJam, |_| SlottedAloha::genie(n), &mut NoHooks).drained());
-    assert!(run_grouped(&cfg(14), Batch::new(n), NoJam, |_| CjpMwu::new(CjpConfig::default())).drained());
+    let batch = scenarios::batch_drain(200);
+    assert!(batch
+        .seeded(10)
+        .run_sparse(|rng| WindowedBeb::new(2, 30, rng))
+        .drained());
+    assert!(batch.seeded(11).run_sparse(|_| ProbBeb::new(0.5)).drained());
+    assert!(batch
+        .seeded(12)
+        .run_sparse(|rng| PolynomialBackoff::new(2, 2, rng))
+        .drained());
+    assert!(batch
+        .seeded(13)
+        .run_sparse(|_| SlottedAloha::genie(200))
+        .drained());
+    assert!(batch
+        .seeded(14)
+        .run_grouped(|_| CjpMwu::new(CjpConfig::default()))
+        .drained());
 }
 
 #[test]
 fn lsb_beats_beb_on_large_batches() {
-    let n = 4096u64;
-    let lsb = run_sparse(&cfg(20), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks);
-    let beb = run_sparse(&cfg(20), Batch::new(n), NoJam, |rng| WindowedBeb::new(2, 30, rng), &mut NoHooks);
+    let faceoff = scenarios::protocol_faceoff(4096).seed(20);
+    let lsb_run = faceoff.run_sparse(lsb());
+    let beb_run = faceoff.run_sparse(|rng| WindowedBeb::new(2, 30, rng));
     assert!(
-        lsb.totals.throughput() > 2.0 * beb.totals.throughput(),
+        lsb_run.totals.throughput() > 2.0 * beb_run.totals.throughput(),
         "lsb {} vs beb {}",
-        lsb.totals.throughput(),
-        beb.totals.throughput()
+        lsb_run.totals.throughput(),
+        beb_run.totals.throughput()
     );
 }
 
@@ -108,9 +94,27 @@ fn registry_experiments_produce_well_formed_tables() {
 }
 
 #[test]
+fn canned_scenario_registry_smoke() {
+    // Every canonical scenario drains (or stops at its horizon) with sane
+    // accounting under the reference protocol.
+    for scenario in scenarios::registry(64) {
+        let r = scenario.seeded(30).run_sparse(lsb());
+        let t = &r.totals;
+        assert!(t.successes <= t.arrivals, "{}", scenario.name());
+        assert!(t.sends >= t.successes, "{}", scenario.name());
+        assert_eq!(
+            t.active_slots,
+            t.empty_active + t.successes + t.collision_slots + t.jammed_active,
+            "{}: slot classes must partition active slots",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
 fn latencies_and_energy_are_recorded_for_all_delivered_packets() {
     let n = 256u64;
-    let r = run_sparse(&cfg(30), Batch::new(n), NoJam, |_| LowSensing::new(Params::default()), &mut NoHooks);
+    let r = scenarios::batch_drain(n).seed(30).run_sparse(lsb());
     assert_eq!(r.latencies().len(), n as usize);
     assert_eq!(r.access_counts().len(), n as usize);
     // Every packet sent at least once (its success).

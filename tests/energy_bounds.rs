@@ -1,20 +1,16 @@
 //! Energy-bound checks distilled from the T4–T9 experiments, runnable as
 //! fast regression tests.
 
-use lowsense::{theory, LowSensing, Params};
+use lowsense::theory;
 use lowsense_baselines::{CjpConfig, CjpMwu};
 use lowsense_sim::prelude::*;
+
+use lowsense::lsb;
 
 #[test]
 fn max_accesses_within_ln4_envelope() {
     for &(n, seed) in &[(256u64, 1u64), (1024, 2), (4096, 3)] {
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::batch_drain(n).seed(seed).run_sparse(lsb());
         let max = *r.access_counts().iter().max().unwrap() as f64;
         let bound = theory::energy_bound_finite(n, 0);
         assert!(
@@ -27,13 +23,7 @@ fn max_accesses_within_ln4_envelope() {
 #[test]
 fn energy_growth_is_strongly_sublinear() {
     let mean_at = |n: u64, seed: u64| {
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(n),
-            NoJam,
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::batch_drain(n).seed(seed).run_sparse(lsb());
         let counts = r.access_counts();
         counts.iter().sum::<u64>() as f64 / counts.len() as f64
     };
@@ -49,26 +39,23 @@ fn energy_growth_is_strongly_sublinear() {
 
 #[test]
 fn sends_are_nearly_constant_listens_carry_the_polylog() {
-    let r = run_sparse(
-        &SimConfig::new(3),
-        Batch::new(4096),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    );
+    let r = scenarios::batch_drain(4096).seed(3).run_sparse(lsb());
     let ps = r.per_packet.as_ref().unwrap();
     let sends = ps.iter().map(|p| p.sends as f64).sum::<f64>() / ps.len() as f64;
     let listens = ps.iter().map(|p| p.listens as f64).sum::<f64>() / ps.len() as f64;
-    assert!(sends < 10.0, "mean sends {sends} should be a small constant");
+    assert!(
+        sends < 10.0,
+        "mean sends {sends} should be a small constant"
+    );
     assert!(listens > sends, "listening dominates sending");
 }
 
 #[test]
 fn cjp_pays_linear_listening_energy() {
     let energy = |n: u64| {
-        let r = run_grouped(&SimConfig::new(1), Batch::new(n), NoJam, |_| {
-            CjpMwu::new(CjpConfig::default())
-        });
+        let r = scenarios::batch_drain(n)
+            .seed(1)
+            .run_grouped(|_| CjpMwu::new(CjpConfig::default()));
         let counts = r.access_counts();
         counts.iter().sum::<u64>() as f64 / counts.len() as f64
     };
@@ -83,13 +70,10 @@ fn cjp_pays_linear_listening_energy() {
 #[test]
 fn reactive_jamming_leaves_population_average_unmoved() {
     let avg_with_budget = |j: u64| {
-        let r = run_sparse(
-            &SimConfig::new(7),
-            Batch::new(1024),
-            ReactiveTargeted::new(PacketId(0), j),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::batch_drain(1024)
+            .jammer(ReactiveTargeted::new(PacketId(0), j))
+            .seed(7)
+            .run_sparse(lsb());
         let counts = r.access_counts();
         counts.iter().sum::<u64>() as f64 / counts.len() as f64
     };
@@ -104,13 +88,10 @@ fn reactive_jamming_leaves_population_average_unmoved() {
 #[test]
 fn target_accesses_grow_with_reactive_budget() {
     let target_accesses = |j: u64, seed: u64| {
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(512),
-            ReactiveTargeted::new(PacketId(0), j),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::batch_drain(512)
+            .jammer(ReactiveTargeted::new(PacketId(0), j))
+            .seed(seed)
+            .run_sparse(lsb());
         r.per_packet.as_ref().unwrap()[0].accesses() as f64
     };
     let mean = |j: u64| (0..6).map(|s| target_accesses(j, s)).sum::<f64>() / 6.0;
@@ -122,5 +103,8 @@ fn target_accesses_grow_with_reactive_budget() {
     );
     // …but stays within the paper's (J+1)·polylog budget.
     let bound = theory::energy_bound_reactive(512, 128);
-    assert!(sniped < bound, "target accesses {sniped} exceed bound {bound}");
+    assert!(
+        sniped < bound,
+        "target accesses {sniped} exceed bound {bound}"
+    );
 }

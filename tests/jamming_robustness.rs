@@ -1,33 +1,43 @@
 //! Jamming robustness: `LOW-SENSING BACKOFF` under every adversary in the
 //! arsenal, plus the asymmetries the paper predicts between it and
-//! exponential backoff.
+//! exponential backoff. All workloads are scenario descriptions.
 
-use lowsense::{LowSensing, Params};
 use lowsense_baselines::WindowedBeb;
 use lowsense_sim::prelude::*;
 
-fn lsb(seed: u64) -> impl FnMut(&mut SimRng) -> LowSensing {
-    let _ = seed;
-    move |_rng| LowSensing::new(Params::default())
-}
+use lowsense::lsb;
 
 #[test]
 fn drains_under_every_bounded_jammer() {
     let n = 200u64;
-    let throughputs = [
-        run_sparse(&SimConfig::new(1), Batch::new(n), RandomJam::new(0.3), lsb(1), &mut NoHooks),
-        run_sparse(&SimConfig::new(2), Batch::new(n), PeriodicBurst::new(16, 4, 0), lsb(2), &mut NoHooks),
-        run_sparse(&SimConfig::new(3), Batch::new(n), BudgetedRandomJam::new(0.5, 500), lsb(3), &mut NoHooks),
-        run_sparse(&SimConfig::new(4), Batch::new(n), BacklogJam::new(0.6, 10).with_budget(800), lsb(4), &mut NoHooks),
-        run_sparse(&SimConfig::new(5), Batch::new(n), ReactiveAny::new(300), lsb(5), &mut NoHooks),
-        run_sparse(&SimConfig::new(6), Batch::new(n), ReactiveTargeted::new(PacketId(0), 50), lsb(6), &mut NoHooks),
-        run_sparse(&SimConfig::new(7), Batch::new(n), WindowPrefixJam::new(0.2, 32), lsb(7), &mut NoHooks),
+    let arsenal: Vec<DynScenario> = vec![
+        scenarios::random_jam_batch(n, 0.3).seed(1).boxed(),
+        scenarios::burst_jam_batch(n, 16, 4).seed(2).boxed(),
+        scenarios::batch_drain(n)
+            .jammer(BudgetedRandomJam::new(0.5, 500))
+            .seed(3)
+            .boxed(),
+        scenarios::batch_drain(n)
+            .jammer(BacklogJam::new(0.6, 10).with_budget(800))
+            .seed(4)
+            .boxed(),
+        scenarios::reactive_dos_batch(n, 300).seed(5).boxed(),
+        scenarios::batch_drain(n)
+            .jammer(ReactiveTargeted::new(PacketId(0), 50))
+            .seed(6)
+            .boxed(),
+        scenarios::batch_drain(n)
+            .jammer(WindowPrefixJam::new(0.2, 32))
+            .seed(7)
+            .boxed(),
     ];
-    for (i, r) in throughputs.iter().enumerate() {
-        assert!(r.drained(), "jammer {i}: did not drain");
+    for scenario in &arsenal {
+        let r = scenario.run_sparse(lsb());
+        assert!(r.drained(), "{}: did not drain", scenario.name());
         assert!(
             r.totals.throughput() > 0.08,
-            "jammer {i}: throughput {}",
+            "{}: throughput {}",
+            scenario.name(),
             r.totals.throughput()
         );
     }
@@ -47,15 +57,11 @@ fn jam_credit_keeps_throughput_constant_as_jamming_scales() {
     let mut tps = Vec::new();
     for (i, rho) in [0.0, 0.15, 0.3, 0.4].iter().enumerate() {
         let r = if *rho == 0.0 {
-            run_sparse(&SimConfig::new(i as u64), Batch::new(n), NoJam, lsb(0), &mut NoHooks)
+            scenarios::batch_drain(n).seed(i as u64).run_sparse(lsb())
         } else {
-            run_sparse(
-                &SimConfig::new(i as u64),
-                Batch::new(n),
-                RandomJam::new(*rho),
-                lsb(0),
-                &mut NoHooks,
-            )
+            scenarios::random_jam_batch(n, *rho)
+                .seed(i as u64)
+                .run_sparse(lsb())
         };
         assert!(r.drained());
         tps.push(r.totals.throughput());
@@ -75,18 +81,12 @@ fn clean_throughput_degrades_gracefully_not_catastrophically() {
     // packet's window excursions stretch S further. "Graceful" here means:
     // averaged over seeds, clean throughput keeps a positive floor at a
     // moderate rate, while the credited throughput stays constant.
-    let n = 300u64;
+    let scenario = scenarios::random_jam_batch(300, 0.35);
     let seeds = 6u64;
     let mut clean = 0.0;
     let mut credited = 0.0;
     for seed in 0..seeds {
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(n),
-            RandomJam::new(0.35),
-            lsb(seed),
-            &mut NoHooks,
-        );
+        let r = scenario.seeded(seed).run_sparse(lsb());
         assert!(r.drained(), "seed {seed} did not drain");
         clean += r.totals.clean_throughput() / seeds as f64;
         credited += r.totals.throughput() / seeds as f64;
@@ -98,28 +98,15 @@ fn clean_throughput_degrades_gracefully_not_catastrophically() {
 #[test]
 fn reactive_sniper_hurts_beb_exponentially_more_than_lsb() {
     let budget = 10u64;
+    let sniped = scenarios::batch_drain(1).jammer(ReactiveTargeted::new(PacketId(0), budget));
     let mean = |f: &dyn Fn(u64) -> f64| (0..8).map(f).sum::<f64>() / 8.0;
-    let lsb_delay = mean(&|s| {
-        run_sparse(
-            &SimConfig::new(s),
-            Batch::new(1),
-            ReactiveTargeted::new(PacketId(0), budget),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        )
-        .totals
-        .active_slots as f64
-    });
+    let lsb_delay = mean(&|s| sniped.seeded(s).run_sparse(lsb()).totals.active_slots as f64);
     let beb_delay = mean(&|s| {
-        run_sparse(
-            &SimConfig::new(s),
-            Batch::new(1),
-            ReactiveTargeted::new(PacketId(0), budget),
-            |rng| WindowedBeb::new(2, 40, rng),
-            &mut NoHooks,
-        )
-        .totals
-        .active_slots as f64
+        sniped
+            .seeded(s)
+            .run_sparse(|rng| WindowedBeb::new(2, 40, rng))
+            .totals
+            .active_slots as f64
     });
     assert!(
         beb_delay > 5.0 * lsb_delay,
@@ -138,16 +125,13 @@ fn survives_background_noise_plus_reactive_sniper() {
     // The paper's strongest §1.3 adversary shape: ambient random jamming
     // composed with a reactive sniper on one packet.
     let n = 200u64;
-    let r = run_sparse(
-        &SimConfig::new(11),
-        Batch::new(n),
-        WithReactive::new(
+    let r = scenarios::batch_drain(n)
+        .jammer(WithReactive::new(
             RandomJam::new(0.15),
             ReactiveTargeted::new(PacketId(0), 40),
-        ),
-        lsb(11),
-        &mut NoHooks,
-    );
+        ))
+        .seed(11)
+        .run_sparse(lsb());
     assert!(r.drained());
     assert!(r.totals.throughput() > 0.1, "{}", r.totals.throughput());
     // The sniped packet still completes, paying extra accesses.
@@ -163,14 +147,9 @@ fn survives_background_noise_plus_reactive_sniper() {
 
 #[test]
 fn jammed_slot_counts_are_consistent() {
-    let n = 100u64;
-    let r = run_sparse(
-        &SimConfig::new(10),
-        Batch::new(n),
-        RandomJam::new(0.25),
-        lsb(10),
-        &mut NoHooks,
-    );
+    let r = scenarios::random_jam_batch(100, 0.25)
+        .seed(10)
+        .run_sparse(lsb());
     let t = &r.totals;
     // Partition invariant.
     assert_eq!(

@@ -82,29 +82,25 @@ impl Hooks<LowSensing> for OracleCheck {
 #[test]
 fn incremental_tracker_matches_oracle_throughout_run() {
     let mut oracle = OracleCheck::new();
-    let r = run_sparse(
-        &SimConfig::new(1),
-        Batch::new(400),
-        RandomJam::new(0.1),
-        |_| LowSensing::new(Params::default()),
-        &mut oracle,
-    );
+    let r = scenarios::random_jam_batch(400, 0.1)
+        .seed(1)
+        .run_sparse_hooked(|_| LowSensing::new(Params::default()), &mut oracle);
     assert!(r.drained());
     oracle.verify();
-    assert!(oracle.checks > 20, "oracle barely exercised: {}", oracle.checks);
+    assert!(
+        oracle.checks > 20,
+        "oracle barely exercised: {}",
+        oracle.checks
+    );
     assert!(oracle.tracker.phi().abs() < 1e-9);
 }
 
 #[test]
 fn oracle_holds_on_dense_engine_too() {
     let mut oracle = OracleCheck::new();
-    let r = run_dense(
-        &SimConfig::new(2),
-        Batch::new(150),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut oracle,
-    );
+    let r = scenarios::batch_drain(150)
+        .seed(2)
+        .run_dense_hooked(|_| LowSensing::new(Params::default()), &mut oracle);
     assert!(r.drained());
     oracle.verify();
 }
@@ -112,13 +108,9 @@ fn oracle_holds_on_dense_engine_too() {
 #[test]
 fn intervals_tile_the_active_slots_exactly() {
     let mut rec = IntervalRecorder::new(1.0);
-    let r = run_sparse(
-        &SimConfig::new(3),
-        Batch::new(600),
-        RandomJam::new(0.05),
-        |_| LowSensing::new(Params::default()),
-        &mut rec,
-    );
+    let r = scenarios::random_jam_batch(600, 0.05)
+        .seed(3)
+        .run_sparse_hooked(|_| LowSensing::new(Params::default()), &mut rec);
     assert!(r.drained());
     let total_len: u64 = rec.records().iter().map(|iv| iv.len).sum();
     assert_eq!(total_len, r.totals.active_slots, "interval tiling");
@@ -127,7 +119,10 @@ fn intervals_tile_the_active_slots_exactly() {
     assert_eq!(total_jams, r.totals.jammed_active, "jam attribution");
     // Arrivals other than the opening batch land inside intervals.
     let total_arrivals: u64 = rec.records().iter().map(|iv| iv.arrivals).sum();
-    assert_eq!(total_arrivals, 0, "batch arrives at the first interval's start");
+    assert_eq!(
+        total_arrivals, 0,
+        "batch arrives at the first interval's start"
+    );
     // The last interval ends with the drain: Φ = 0.
     let last = rec.records().last().unwrap();
     assert!(last.drained);
@@ -137,13 +132,9 @@ fn intervals_tile_the_active_slots_exactly() {
 #[test]
 fn total_potential_drop_matches_start_minus_end() {
     let mut rec = IntervalRecorder::new(1.0);
-    let r = run_sparse(
-        &SimConfig::new(4),
-        Batch::new(300),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut rec,
-    );
+    let r = scenarios::batch_drain(300)
+        .seed(4)
+        .run_sparse_hooked(|_| LowSensing::new(Params::default()), &mut rec);
     assert!(r.drained());
     // Interval deltas telescope: Σ ΔΦ ≈ Φ(end) − Φ(start) = −Φ(start).
     // Boundary Φ samples are taken at slot starts (see intervals.rs docs),
@@ -163,13 +154,9 @@ fn total_potential_drop_matches_start_minus_end() {
 #[test]
 fn regime_occupancy_partitions_active_slots() {
     let mut tracker = PotentialTracker::default();
-    let r = run_sparse(
-        &SimConfig::new(5),
-        Batch::new(500),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut tracker,
-    );
+    let r = scenarios::batch_drain(500)
+        .seed(5)
+        .run_sparse_hooked(|_| LowSensing::new(Params::default()), &mut tracker);
     assert!(r.drained());
     assert_eq!(tracker.occupancy().total(), r.totals.active_slots);
 }

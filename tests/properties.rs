@@ -42,13 +42,9 @@ proptest! {
         rho in 0.0f64..0.5,
         seed in 0u64..1_000_000,
     ) {
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(n),
-            RandomJam::new(rho),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::random_jam_batch(n, rho)
+            .seed(seed)
+            .run_sparse(|_| LowSensing::new(Params::default()));
         prop_assert!(r.drained());
         check_invariants(&r);
     }
@@ -60,13 +56,9 @@ proptest! {
         rho in 0.0f64..0.4,
         seed in 0u64..1_000_000,
     ) {
-        let r = run_dense(
-            &SimConfig::new(seed),
-            Batch::new(n),
-            RandomJam::new(rho),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = scenarios::random_jam_batch(n, rho)
+            .seed(seed)
+            .run_dense(|_| LowSensing::new(Params::default()));
         prop_assert!(r.drained());
         check_invariants(&r);
     }
@@ -80,13 +72,9 @@ proptest! {
     ) {
         prop_assume!(c * w_min.ln().powi(3) >= 1.0);
         let params = Params::new(c, w_min).expect("assumed valid");
-        let r = run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(64),
-            NoJam,
-            |_| LowSensing::new(params),
-            &mut NoHooks,
-        );
+        let r = scenarios::batch_drain(64)
+            .seed(seed)
+            .run_sparse(|_| LowSensing::new(params));
         prop_assert!(r.drained());
         check_invariants(&r);
     }
@@ -94,13 +82,8 @@ proptest! {
     /// Runs are pure functions of (workload, params, seed).
     #[test]
     fn determinism(seed in 0u64..1_000_000) {
-        let go = || run_sparse(
-            &SimConfig::new(seed),
-            Batch::new(50),
-            RandomJam::new(0.2),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let scenario = scenarios::random_jam_batch(50, 0.2).seed(seed);
+        let go = || scenario.run_sparse(|_| LowSensing::new(Params::default()));
         let (a, b) = (go(), go());
         prop_assert_eq!(a.totals, b.totals);
         prop_assert_eq!(a.per_packet, b.per_packet);
@@ -114,13 +97,12 @@ proptest! {
         horizon in 500u64..5_000,
         seed in 0u64..100_000,
     ) {
-        let r = run_sparse(
-            &SimConfig::new(seed).limits(Limits::until_slot(horizon)),
-            Bernoulli::new(rate),
-            RandomJam::new(0.1),
-            |_| LowSensing::new(Params::default()),
-            &mut NoHooks,
-        );
+        let r = Scenario::named("truncated-bernoulli+jam")
+            .arrivals(Bernoulli::new(rate))
+            .jammer(RandomJam::new(0.1))
+            .until_slot(horizon)
+            .seed(seed)
+            .run_sparse(|_| LowSensing::new(Params::default()));
         check_invariants(&r);
         prop_assert!(r.totals.last_slot <= horizon);
     }

@@ -4,22 +4,12 @@
 use lowsense::{LowSensing, Params};
 use lowsense_sim::prelude::*;
 
-fn run(
-    rate: f64,
-    s: u64,
-    placement: Placement,
-    horizon: u64,
-    seed: u64,
-) -> RunResult {
-    run_sparse(
-        &SimConfig::new(seed)
-            .limits(Limits::until_slot(horizon))
-            .metrics(MetricsConfig::totals_only()),
-        AdversarialQueuing::new(rate, s, placement),
-        NoJam,
-        |_| LowSensing::new(Params::default()),
-        &mut NoHooks,
-    )
+fn run(rate: f64, s: u64, placement: Placement, horizon: u64, seed: u64) -> RunResult {
+    scenarios::adversarial_queuing(rate, s, placement)
+        .until_slot(horizon)
+        .totals_only()
+        .seed(seed)
+        .run_sparse(|_| LowSensing::new(Params::default()))
 }
 
 #[test]
@@ -71,14 +61,15 @@ fn backlog_scales_with_granularity_not_above() {
 fn with_joint_jam_budget_system_remains_stable() {
     let s = 128u64;
     let horizon = 150 * s;
-    let r = run_sparse(
-        &SimConfig::new(4).limits(Limits::until_slot(horizon)),
-        AdversarialQueuing::new(0.08, s, Placement::Front),
-        WindowPrefixJam::new(0.05, s),
-        |_| LowSensing::new(Params::default()),
-        &mut NoHooks,
+    let r = scenarios::queuing_jammed(0.08, 0.05, s)
+        .until_slot(horizon)
+        .seed(4)
+        .run_sparse(|_| LowSensing::new(Params::default()));
+    assert!(
+        r.totals.max_backlog < 8 * s,
+        "max backlog {}",
+        r.totals.max_backlog
     );
-    assert!(r.totals.max_backlog < 8 * s, "max backlog {}", r.totals.max_backlog);
     assert!(
         r.totals.implicit_throughput() > 0.1,
         "implicit throughput {}",
@@ -92,5 +83,9 @@ fn higher_rate_still_stable_at_moderate_lambda() {
     // algorithm's saturation point.
     let s = 128u64;
     let r = run(0.2, s, Placement::Front, 150 * s, 5);
-    assert!(r.totals.max_backlog < 12 * s, "max backlog {}", r.totals.max_backlog);
+    assert!(
+        r.totals.max_backlog < 12 * s,
+        "max backlog {}",
+        r.totals.max_backlog
+    );
 }

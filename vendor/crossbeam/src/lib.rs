@@ -1,0 +1,169 @@
+//! Minimal offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides only `crossbeam::channel::{unbounded, Sender, Receiver}` — the
+//! surface the experiment runner's `parallel_map` uses. The implementation
+//! is a plain mutex + condvar MPMC queue; correctness over speed.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `item`; fails only if every receiver has been dropped.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            if st.receivers == 0 {
+                return Err(SendError(item));
+            }
+            st.items.push_back(item);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (job_tx, job_rx) = channel::unbounded::<u64>();
+        let (res_tx, res_rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            job_tx.send(i).unwrap();
+        }
+        drop(job_tx);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Ok(x) = rx.recv() {
+                        tx.send(x * 2).unwrap();
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut got: Vec<u64> = Vec::new();
+            while let Ok(x) = res_rx.recv() {
+                got.push(x);
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn recv_fails_when_senders_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Minimal offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the macro/strategy surface this repository's property tests
+//! use: `proptest! { #![proptest_config(..)] fn case(x in strategy) {..} }`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`,
+//! numeric-range / tuple / [`Just`] strategies, and
+//! [`collection::vec`]. Tests run as seeded randomized tests: the RNG seed
+//! is derived from the test name, so failures are reproducible, but there
+//! is **no shrinking** — a failing case reports its inputs via the assert
+//! message only.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::StubRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StubRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut StubRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + (rng.next_u64() % span) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StubRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut StubRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut StubRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Uniform choice among homogeneous strategies (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct Union<S>(Vec<S>);
+
+    impl<S: Strategy> Union<S> {
+        /// Builds the union; panics on an empty list.
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StubRng) -> Self::Value {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].sample(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::StubRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StubRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-case driver types.
+pub mod test_runner {
+    /// Per-`proptest!` configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    impl Config {
+        /// Configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip the case without failing the test.
+        Reject(String),
+        /// `prop_assert!`/`prop_assert_eq!` failed: fail the test.
+        Fail(String),
+    }
+
+    /// SplitMix64 generator; seeded from the test name for reproducibility.
+    #[derive(Debug, Clone)]
+    pub struct StubRng(u64);
+
+    impl StubRng {
+        /// Deterministic RNG for the named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            StubRng(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares randomized test functions; see the crate docs for the accepted
+/// grammar (a subset of real proptest's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::StubRng::for_test(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            // Give rejecting cases (prop_assume!) room, but always stop.
+            while accepted < config.cases && attempts < config.cases.saturating_mul(40) {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => panic!("proptest case {} failed: {message}", stringify!($name)),
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails the whole test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{left:?} != {right:?}"
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among homogeneous strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($option),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_oneof_strategies(
+            v in crate::collection::vec(0u8..3, 0..50),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&b| b < 3));
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::StubRng::for_test("t");
+        let mut b = crate::test_runner::StubRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,96 @@
+//! Minimal offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides exactly the trait pair `lowsense-sim`'s [`SimRng`] interop
+//! needs: a fallible [`TryRng`] and an infallible [`Rng`] with a blanket
+//! impl for `TryRng<Error = Infallible>` generators.
+//!
+//! [`SimRng`]: https://docs.rs/lowsense-sim
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+
+/// A generator whose operations may fail.
+pub trait TryRng {
+    /// Error produced by the generator.
+    type Error;
+
+    /// Next 32 uniformly random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Next 64 uniformly random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with uniformly random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible generator; blanket-implemented for every
+/// `TryRng<Error = Infallible>`.
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible>> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(x) => x,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(x) => x,
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 += 1;
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_impl_applies() {
+        let mut rng = Counter(0);
+        assert_eq!(Rng::next_u64(&mut rng), 1);
+        assert_eq!(Rng::next_u32(&mut rng), 2);
+        let mut buf = [0u8; 3];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+    }
+}
