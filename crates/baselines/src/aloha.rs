@@ -53,13 +53,13 @@ impl Protocol for SlottedAloha {
     fn send_probability(&self) -> f64 {
         self.p
     }
+
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        Some(geometric(rng, self.p))
+    }
 }
 
 impl SparseProtocol for SlottedAloha {
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-        geometric(rng, self.p)
-    }
-
     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
         true
     }

@@ -109,14 +109,14 @@ impl Protocol for WindowedBeb {
         // Nominal per-slot rate: one transmission per window.
         1.0 / self.window() as f64
     }
+
+    fn next_wake(&mut self, _rng: &mut SimRng) -> Option<u64> {
+        // `countdown` was freshly sampled at construction or in `observe`.
+        Some(self.countdown)
+    }
 }
 
 impl SparseProtocol for WindowedBeb {
-    fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
-        // `countdown` was freshly sampled at construction or in `observe`.
-        self.countdown
-    }
-
     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
         true
     }
@@ -166,13 +166,13 @@ impl Protocol for ProbBeb {
     fn send_probability(&self) -> f64 {
         self.probability()
     }
+
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        Some(geometric(rng, self.probability()))
+    }
 }
 
 impl SparseProtocol for ProbBeb {
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-        geometric(rng, self.probability())
-    }
-
     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
         true
     }

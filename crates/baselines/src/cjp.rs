@@ -107,15 +107,15 @@ impl Protocol for CjpMwu {
     fn send_probability(&self) -> f64 {
         self.p
     }
+
+    /// Every slot is an access: the sparse engine degenerates to dense
+    /// (correct, but without speedup — use the grouped engine at scale).
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        Some(geometric(rng, 1.0))
+    }
 }
 
 impl SparseProtocol for CjpMwu {
-    /// Every slot is an access: the sparse engine degenerates to dense
-    /// (correct, but without speedup — use the grouped engine at scale).
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-        geometric(rng, 1.0)
-    }
-
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
         rng.bernoulli(self.p)
     }

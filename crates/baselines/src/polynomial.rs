@@ -70,13 +70,13 @@ impl Protocol for PolynomialBackoff {
     fn send_probability(&self) -> f64 {
         1.0 / self.window() as f64
     }
+
+    fn next_wake(&mut self, _rng: &mut SimRng) -> Option<u64> {
+        Some(self.countdown)
+    }
 }
 
 impl SparseProtocol for PolynomialBackoff {
-    fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
-        self.countdown
-    }
-
     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
         true
     }

@@ -182,13 +182,13 @@ impl Protocol for LowSensingVariant {
     fn send_probability(&self) -> f64 {
         self.p_send()
     }
+
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        Some(geometric(rng, self.access_probability()))
+    }
 }
 
 impl SparseProtocol for LowSensingVariant {
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-        geometric(rng, self.access_probability())
-    }
-
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
         rng.bernoulli(self.p_send() / self.access_probability())
     }

@@ -71,6 +71,15 @@ fn main() {
                 .seeded(seed)
                 .run_sparse(|_| LowSensing::new(Params::default()))
         }),
+        // The retained heap-based loop on the identical workload, so every
+        // BENCH_engine.json records the old-vs-new sparse ratio directly
+        // (the two runs are bit-identical, making slots/sec comparable).
+        measure("sparse_ref_lsb_16384", |seed| {
+            scenarios::batch_drain(16_384)
+                .totals_only()
+                .seeded(seed)
+                .run_sparse_reference(|_| LowSensing::new(Params::default()))
+        }),
         measure("sparse_lsb_16384_jammed", |seed| {
             scenarios::random_jam_batch(16_384, 0.2)
                 .totals_only()

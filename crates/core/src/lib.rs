@@ -47,7 +47,7 @@
 //! | [`theory`] | closed-form bounds for paper-vs-measured checks |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod intervals;
 pub mod params;

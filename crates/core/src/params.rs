@@ -115,14 +115,32 @@ impl Params {
     /// `min(1, c·ln³(w)/w)`.
     #[inline]
     pub fn listen_probability(&self, w: f64) -> f64 {
-        (self.c * w.ln().powi(3) / w).min(1.0)
+        self.listen_probability_ln(w, w.ln())
+    }
+
+    /// [`Params::listen_probability`] with the caller supplying `ln w`.
+    ///
+    /// Hot paths (the per-observation recompute in
+    /// [`LowSensing`](crate::LowSensing)) cache the logarithm; passing it in
+    /// keeps the arithmetic bit-identical to the uncached form while paying
+    /// for one `ln` instead of three per window update.
+    #[inline]
+    pub fn listen_probability_ln(&self, w: f64, ln_w: f64) -> f64 {
+        (self.c * ln_w.powi(3) / w).min(1.0)
     }
 
     /// Probability that a listening packet also sends:
     /// `min(1, 1/(c·ln³ w))` (the min never binds for valid parameters).
     #[inline]
     pub fn send_probability_given_listen(&self, w: f64) -> f64 {
-        (1.0 / (self.c * w.ln().powi(3))).min(1.0)
+        self.send_probability_given_listen_ln(w.ln())
+    }
+
+    /// [`Params::send_probability_given_listen`] with the caller supplying
+    /// `ln w` (see [`Params::listen_probability_ln`]).
+    #[inline]
+    pub fn send_probability_given_listen_ln(&self, ln_w: f64) -> f64 {
+        (1.0 / (self.c * ln_w.powi(3))).min(1.0)
     }
 }
 

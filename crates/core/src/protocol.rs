@@ -14,7 +14,7 @@
 //! (Theorem 5.25: every listen carries a `1/(c·ln³ w)` chance of being a
 //! send, so long listen streaks imply success).
 
-use lowsense_sim::dist::geometric;
+use lowsense_sim::dist::fast_ln;
 use lowsense_sim::feedback::{Feedback, Intent, Observation};
 use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
@@ -39,9 +39,18 @@ use crate::window;
 pub struct LowSensing {
     params: Params,
     w: f64,
+    // Cached `ln w`, so the window update (which needs the logarithm of the
+    // *current* window) costs no transcendental call — `observe` computes
+    // exactly one `ln`, for the new window.
+    ln_w: f64,
     // Cached per-slot probabilities; recomputed only on window changes.
     p_listen: f64,
     p_send_given_listen: f64,
+    // Cached `1 / ln(1 - p_listen)`, so sampling the next access delay
+    // costs one (fast) `ln` of the uniform and a multiply instead of two
+    // `ln`s and a divide. Zero in the degenerate cases the draw guards
+    // handle (`p_listen` outside `(0, 1)`).
+    inv_ln_q_listen: f64,
 }
 
 impl LowSensing {
@@ -57,16 +66,28 @@ impl LowSensing {
         let mut p = LowSensing {
             params,
             w,
+            ln_w: 0.0,
             p_listen: 0.0,
             p_send_given_listen: 0.0,
+            inv_ln_q_listen: 0.0,
         };
         p.recompute();
         p
     }
 
     fn recompute(&mut self) {
-        self.p_listen = self.params.listen_probability(self.w);
-        self.p_send_given_listen = self.params.send_probability_given_listen(self.w);
+        self.ln_w = fast_ln(self.w);
+        self.p_listen = self.params.listen_probability_ln(self.w, self.ln_w);
+        self.p_send_given_listen = self.params.send_probability_given_listen_ln(self.ln_w);
+        self.inv_ln_q_listen = if self.p_listen <= 0.0 || self.p_listen >= 1.0 {
+            // Degenerate: `next_wake` short-circuits before using this.
+            0.0
+        } else if self.p_listen < 1e-8 {
+            // `1 - p` rounds to 1 here; `ln_1p` keeps full precision.
+            1.0 / (-self.p_listen).ln_1p()
+        } else {
+            1.0 / fast_ln(1.0 - self.p_listen)
+        };
     }
 
     /// Current window size `w_u(t)`.
@@ -101,26 +122,48 @@ impl Protocol for LowSensing {
     }
 
     fn observe(&mut self, obs: &Observation) {
-        match obs.feedback {
-            Feedback::Empty => self.w = window::back_on(&self.params, self.w),
-            Feedback::Noisy => self.w = window::back_off(&self.params, self.w),
+        let new_w = match obs.feedback {
+            Feedback::Empty => window::back_on_ln(&self.params, self.w, self.ln_w),
+            Feedback::Noisy => window::back_off_ln(&self.params, self.w, self.ln_w),
             // Someone else's success: no update (Figure 1 has rules only for
             // silent and noisy slots). Our own success departs us anyway.
             Feedback::Success => return,
+        };
+        if new_w == self.w {
+            // Back-on clamped at the floor: the window (and every cached
+            // derived probability) is unchanged, so skip the recompute.
+            return;
         }
+        self.w = new_w;
         self.recompute();
     }
 
     fn send_probability(&self) -> f64 {
         self.p_listen * self.p_send_given_listen
     }
+
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        // Exact inversion sampling, `k = ⌊ln U / ln(1-p_listen)⌋`, like
+        // `dist::geometric` — but with the logarithm of `1-p` cached as a
+        // reciprocal and `fast_ln` for the uniform, this is one inlined
+        // transcendental per draw. The guards mirror `geometric`'s.
+        if self.p_listen >= 1.0 {
+            return Some(0);
+        }
+        if self.p_listen <= 0.0 {
+            return Some(u64::MAX);
+        }
+        let u = 1.0 - rng.f64();
+        let k = fast_ln(u) * self.inv_ln_q_listen;
+        Some(if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        })
+    }
 }
 
 impl SparseProtocol for LowSensing {
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-        geometric(rng, self.p_listen)
-    }
-
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
         rng.bernoulli(self.p_send_given_listen)
     }
@@ -211,7 +254,7 @@ mod tests {
         let mut p = LowSensing::with_window(Params::default(), 64.0);
         let mut rng = SimRng::new(2);
         let n = 100_000;
-        let sum: u64 = (0..n).map(|_| p.next_access_delay(&mut rng)).sum();
+        let sum: u64 = (0..n).map(|_| p.next_wake(&mut rng).unwrap()).sum();
         let mean = sum as f64 / n as f64;
         let expect = (1.0 - p.access_probability()) / p.access_probability();
         assert!(

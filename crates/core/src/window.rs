@@ -17,7 +17,17 @@ use crate::params::Params;
 #[inline]
 pub fn update_factor(c: f64, w: f64) -> f64 {
     debug_assert!(w >= 2.0, "window {w} below analytic minimum 2");
-    1.0 + 1.0 / (c * w.ln())
+    update_factor_ln(c, w.ln())
+}
+
+/// [`update_factor`] with the caller supplying `ln w`.
+///
+/// The hot per-observation path in [`LowSensing`](crate::LowSensing) caches
+/// the logarithm of the current window; this variant reuses it, with
+/// arithmetic bit-identical to [`update_factor`].
+#[inline]
+pub fn update_factor_ln(c: f64, ln_w: f64) -> f64 {
+    1.0 + 1.0 / (c * ln_w)
 }
 
 /// One back-off step: `w ← w · (1 + 1/(c·ln w))`.
@@ -26,10 +36,23 @@ pub fn back_off(params: &Params, w: f64) -> f64 {
     w * update_factor(params.c(), w)
 }
 
+/// [`back_off`] with the caller supplying `ln w` (see
+/// [`update_factor_ln`]).
+#[inline]
+pub fn back_off_ln(params: &Params, w: f64, ln_w: f64) -> f64 {
+    w * update_factor_ln(params.c(), ln_w)
+}
+
 /// One back-on step: `w ← max(w / (1 + 1/(c·ln w)), w_min)`.
 #[inline]
 pub fn back_on(params: &Params, w: f64) -> f64 {
     (w / update_factor(params.c(), w)).max(params.w_min())
+}
+
+/// [`back_on`] with the caller supplying `ln w` (see [`update_factor_ln`]).
+#[inline]
+pub fn back_on_ln(params: &Params, w: f64, ln_w: f64) -> f64 {
+    (w / update_factor_ln(params.c(), ln_w)).max(params.w_min())
 }
 
 /// Number of back-off steps needed to grow `from` to at least `to`

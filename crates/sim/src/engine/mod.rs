@@ -8,8 +8,11 @@
 //!
 //! * [`dense`] — slot-by-slot reference engine, `O(packets)` per slot. The
 //!   oracle the others are validated against.
-//! * [`sparse`] — event-driven engine for [`SparseProtocol`] implementations,
-//!   `O(log n)` per channel access; silent slots are skipped exactly.
+//! * [`sparse`] — event-driven engine for [`SparseProtocol`] implementations:
+//!   a calendar-queue wake set ([`wake`]) makes a channel access `O(1)`
+//!   amortized, and silent slots are skipped exactly.
+//! * [`sparse_reference`] — the retained heap-based sparse loop; the
+//!   bit-for-bit equivalence oracle for [`sparse`].
 //! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
 //!   listen every slot, `O(groups)` per slot.
 //!
@@ -24,8 +27,12 @@ pub mod core;
 pub mod dense;
 pub mod grouped;
 pub mod sparse;
+pub mod sparse_reference;
+pub mod wake;
 
 pub use self::core::EngineCore;
 pub use dense::run_dense;
 pub use grouped::{run_grouped, SymmetricProtocol};
 pub use sparse::run_sparse;
+pub use sparse_reference::run_sparse_reference;
+pub use wake::WakeQueue;

@@ -29,12 +29,12 @@
 //!     }
 //!     fn observe(&mut self, _obs: &Observation) {}
 //!     fn send_probability(&self) -> f64 { self.0 }
+//!     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+//!         Some(geometric(rng, self.0))
+//!     }
 //! }
 //!
 //! impl SparseProtocol for Aloha {
-//!     fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-//!         geometric(rng, self.0)
-//!     }
 //!     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool { true }
 //! }
 //!
@@ -64,7 +64,7 @@
 //! | [`trace`] | bounded event log for debugging protocol implementations |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arrivals;
 pub mod config;
@@ -89,7 +89,9 @@ pub mod prelude {
         PoissonArrivals, Trace,
     };
     pub use crate::config::{Limits, SimConfig};
-    pub use crate::engine::{run_dense, run_grouped, run_sparse, SymmetricProtocol};
+    pub use crate::engine::{
+        run_dense, run_grouped, run_sparse, run_sparse_reference, SymmetricProtocol,
+    };
     pub use crate::feedback::{resolve_slot, Feedback, Intent, Observation, SlotOutcome};
     pub use crate::hooks::{Both, Hooks, NoHooks};
     pub use crate::jamming::{

@@ -36,6 +36,23 @@ pub trait Protocol: Clone {
     /// §4.1) incrementally from this value; it must stay constant between
     /// calls to [`Protocol::observe`].
     fn send_probability(&self) -> f64;
+
+    /// Samples the number of slots the packet sleeps before its next channel
+    /// access, if the protocol can express that wait in closed form.
+    ///
+    /// This is the hook the event-driven engines schedule from: a packet
+    /// returning `Some(delay)` at a moment where the first candidate slot is
+    /// `s` promises to sleep through `delay` slots and access the channel in
+    /// slot `s + delay` (the engine chooses `s` as the injection slot for
+    /// fresh packets and `t + 1` after an access in slot `t`). `None` — the
+    /// default — means the wait is not statically samplable; engines that
+    /// require event scheduling treat such a packet as never waking on its
+    /// own, and the slot-stepping engines never call this method, so the
+    /// default preserves the dense slot-by-slot behaviour exactly.
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        let _ = rng;
+        None
+    }
 }
 
 /// A protocol whose behaviour between channel accesses is statically
@@ -45,20 +62,15 @@ pub trait Protocol: Clone {
 ///
 /// * The state (and therefore [`Protocol::send_probability`]) changes only
 ///   inside [`Protocol::observe`].
-/// * [`next_access_delay`](SparseProtocol::next_access_delay) sampled at a
-///   moment where the first candidate slot is `s` means: the packet sleeps
-///   through `delay` slots and accesses the channel in slot `s + delay`.
-///   The engine chooses `s` as the injection slot for fresh packets and
-///   `t + 1` after an access in slot `t`.
-/// * The marginal distribution of (access slots, send decisions) must equal
-///   that induced by [`Protocol::intent`]; the cross-engine equivalence
-///   tests enforce this statistically.
+/// * [`Protocol::next_wake`] returns `Some(delay)` for every reachable
+///   state (a `None` is treated by the event-driven engines as "never wakes
+///   again", which is only meaningful for degenerate protocols).
+/// * The marginal distribution of (access slots, send decisions) induced by
+///   [`Protocol::next_wake`] and
+///   [`send_on_access`](SparseProtocol::send_on_access) must equal that
+///   induced by [`Protocol::intent`]; the cross-engine equivalence tests
+///   enforce this statistically.
 pub trait SparseProtocol: Protocol {
-    /// Samples how many slots the packet sleeps before its next channel
-    /// access. `u64::MAX` means "never" (the engine will drop the packet
-    /// from scheduling; only meaningful for degenerate protocols).
-    fn next_access_delay(&mut self, rng: &mut SimRng) -> u64;
-
     /// Given that the packet accesses the channel, samples whether it
     /// transmits (otherwise it listens only).
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool;
@@ -91,13 +103,13 @@ mod tests {
         fn send_probability(&self) -> f64 {
             self.q
         }
+
+        fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+            Some(geometric(rng, self.q))
+        }
     }
 
     impl SparseProtocol for FixedProb {
-        fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-            geometric(rng, self.q)
-        }
-
         fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
             true
         }
@@ -120,7 +132,7 @@ mod tests {
         let mut p = FixedProb { q: 0.25 };
         let mut rng = SimRng::new(2);
         let n = 100_000;
-        let sum: u64 = (0..n).map(|_| p.next_access_delay(&mut rng)).sum();
+        let sum: u64 = (0..n).map(|_| p.next_wake(&mut rng).unwrap()).sum();
         let mean = sum as f64 / n as f64;
         // E[geometric(0.25)] = 3.
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");

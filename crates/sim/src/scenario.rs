@@ -17,11 +17,11 @@
 //!     }
 //!     fn observe(&mut self, _obs: &Observation) {}
 //!     fn send_probability(&self) -> f64 { self.0 }
+//!     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+//!         Some(lowsense_sim::dist::geometric(rng, self.0))
+//!     }
 //! }
 //! impl SparseProtocol for Aloha {
-//!     fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-//!         lowsense_sim::dist::geometric(rng, self.0)
-//!     }
 //!     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool { true }
 //! }
 //!
@@ -47,7 +47,7 @@ use std::fmt;
 
 use crate::arrivals::ArrivalProcess;
 use crate::config::{Limits, SimConfig};
-use crate::engine::{run_dense, run_grouped, run_sparse, SymmetricProtocol};
+use crate::engine::{run_dense, run_grouped, run_sparse, run_sparse_reference, SymmetricProtocol};
 use crate::hooks::{Hooks, NoHooks};
 use crate::jamming::{Jammer, NoJam};
 use crate::metrics::{MetricsConfig, RunResult};
@@ -228,6 +228,23 @@ where
         )
     }
 
+    /// Runs the scenario on the retained heap-based sparse loop
+    /// ([`run_sparse_reference`]) — the equivalence oracle for
+    /// [`Scenario::run_sparse`]. Slower; intended for validation only.
+    pub fn run_sparse_reference<P, F>(&self, factory: F) -> RunResult
+    where
+        P: SparseProtocol,
+        F: FnMut(&mut SimRng) -> P,
+    {
+        run_sparse_reference(
+            &self.sim_config(),
+            self.arrivals.clone(),
+            self.jammer.clone(),
+            factory,
+            &mut NoHooks,
+        )
+    }
+
     /// Runs the scenario on the [grouped engine](crate::engine::grouped).
     pub fn run_grouped<P, F>(&self, factory: F) -> RunResult
     where
@@ -368,7 +385,8 @@ impl Jammer for BoxedJammer {
 /// The registry of canonical scenarios.
 ///
 /// Each constructor returns a fully typed [`Scenario`] that callers may
-/// specialize further with the builder methods; [`registry`] returns one
+/// specialize further with the builder methods; [`scenarios::registry`]
+/// returns one
 /// bounded, type-erased instance of each for uniform sweeps (smoke tests,
 /// cross-engine equivalence, perf baselines).
 pub mod scenarios {
@@ -533,12 +551,12 @@ mod tests {
         fn send_probability(&self) -> f64 {
             self.0
         }
+        fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+            Some(geometric(rng, self.0))
+        }
     }
 
     impl SparseProtocol for Fixed {
-        fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 {
-            geometric(rng, self.0)
-        }
         fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
             true
         }
@@ -642,6 +660,66 @@ mod tests {
             .seed(2)
             .run_sparse_hooked(|_| Fixed(0.02), &mut hooks);
         assert_eq!(hooks.0 + hooks.1, r.totals.active_slots);
+    }
+
+    #[test]
+    fn zero_packet_batch_is_a_clean_noop_on_every_engine() {
+        // A Batch of 0 exhausts immediately: no arrivals, no active slots,
+        // throughput defined as 1 (0/0 convention), on all four engines.
+        let s = scenarios::batch_drain(0).seed(3);
+        for r in [
+            s.run_sparse(|_| Fixed(0.1)),
+            s.run_sparse_reference(|_| Fixed(0.1)),
+            s.run_dense(|_| Fixed(0.1)),
+            s.run_grouped(|_| Fixed(0.1)),
+        ] {
+            assert_eq!(r.totals.arrivals, 0);
+            assert_eq!(r.totals.active_slots, 0);
+            assert_eq!(r.totals.last_slot, 0);
+            assert!(r.drained());
+            assert_eq!(r.totals.throughput(), 1.0);
+            assert_eq!(r.access_counts(), Vec::<u64>::new());
+        }
+    }
+
+    #[test]
+    fn totals_only_metrics_equal_full_metrics_totals() {
+        // Disabling per-packet recording must not change the execution —
+        // only what is recorded. Totals agree exactly per engine.
+        let full = scenarios::random_jam_batch(32, 0.1).seed(6);
+        let cheap = full.clone().totals_only();
+        let a = full.run_sparse(|_| Fixed(0.07));
+        let b = cheap.run_sparse(|_| Fixed(0.07));
+        assert_eq!(a.totals, b.totals);
+        assert!(a.per_packet.is_some() && b.per_packet.is_none());
+        let c = full.run_dense(|_| Fixed(0.07));
+        let d = cheap.run_dense(|_| Fixed(0.07));
+        assert_eq!(c.totals, d.totals);
+        let e = full.run_grouped(|_| Fixed(0.07));
+        let f = cheap.run_grouped(|_| Fixed(0.07));
+        assert_eq!(e.totals, f.totals);
+    }
+
+    #[test]
+    fn seed_determinism_holds_across_all_engines() {
+        // Same seed ⇒ identical run, per engine; different seed ⇒ a
+        // different execution (for a workload long enough to mix).
+        let s = scenarios::random_jam_batch(24, 0.15);
+        let runs = |seed: u64| {
+            (
+                s.seeded(seed).run_sparse(|_| Fixed(0.05)).totals,
+                s.seeded(seed).run_sparse_reference(|_| Fixed(0.05)).totals,
+                s.seeded(seed).run_dense(|_| Fixed(0.05)).totals,
+                s.seeded(seed).run_grouped(|_| Fixed(0.05)).totals,
+            )
+        };
+        assert_eq!(runs(9), runs(9), "same seed must replay identically");
+        let (a, _, c, d) = runs(9);
+        let (a2, _, c2, d2) = runs(10);
+        assert!(
+            a != a2 || c != c2 || d != d2,
+            "different seeds should not all coincide"
+        );
     }
 
     #[test]

@@ -16,6 +16,27 @@ pub fn offset(slot: Slot, delay: u64) -> Slot {
     slot.saturating_add(delay)
 }
 
+/// Resolves a protocol's wake delay (see
+/// [`Protocol::next_wake`](crate::protocol::Protocol::next_wake)) into an
+/// absolute wake slot, or `None` when the packet never wakes.
+///
+/// Both "never" encodings — a `None` delay and the [`NEVER`] sentinel used
+/// by [`geometric`](crate::dist::geometric) — collapse here, and so does a
+/// finite delay whose absolute slot saturates past the representable
+/// horizon (such an event could never be processed; scheduling it would
+/// park it in a wake set forever). Both sparse engines route every
+/// scheduling decision through this one helper so they stay bit-identical.
+#[inline]
+pub fn wake_slot(from: Slot, delay: Option<u64>) -> Option<Slot> {
+    match delay {
+        Some(d) if d != NEVER => match offset(from, d) {
+            NEVER => None,
+            s => Some(s),
+        },
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,9 +19,11 @@
 //!     }
 //!     fn observe(&mut self, _obs: &Observation) {}
 //!     fn send_probability(&self) -> f64 { self.0 }
+//!     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+//!         Some(geometric(rng, self.0))
+//!     }
 //! }
 //! impl SparseProtocol for Fixed {
-//!     fn next_access_delay(&mut self, rng: &mut SimRng) -> u64 { geometric(rng, self.0) }
 //!     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool { true }
 //! }
 //!

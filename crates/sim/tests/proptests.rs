@@ -189,12 +189,12 @@ impl Protocol for Greedy {
     fn send_probability(&self) -> f64 {
         1.0
     }
+    fn next_wake(&mut self, _rng: &mut SimRng) -> Option<u64> {
+        Some(0)
+    }
 }
 
 impl SparseProtocol for Greedy {
-    fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
-        0
-    }
     fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
         true
     }
@@ -226,5 +226,64 @@ proptest! {
         let sparse = run_sparse(&cfg, mk_trace(), NoJam, |_| Greedy, &mut NoHooks);
         prop_assert_eq!(dense.totals, sparse.totals);
         prop_assert_eq!(dense.per_packet, sparse.per_packet);
+    }
+
+    /// The calendar-queue sparse engine and the retained heap-based loop
+    /// produce bit-identical executions for arbitrary stochastic protocols,
+    /// traces, jamming rates, and horizons.
+    #[test]
+    fn sparse_engines_bit_identical_on_random_workloads(
+        p in 0.001f64..1.0,
+        first in 1u32..40,
+        gap in 1u64..5_000,
+        second in 0u32..40,
+        rho in 0.0f64..0.6,
+        horizon in 1u64..20_000,
+        seed in 0u64..10_000,
+    ) {
+        #[derive(Clone)]
+        struct Fixed(f64);
+        impl Protocol for Fixed {
+            fn intent(&mut self, rng: &mut SimRng) -> Intent {
+                if rng.bernoulli(self.0) { Intent::Send } else { Intent::Sleep }
+            }
+            fn observe(&mut self, _obs: &Observation) {}
+            fn send_probability(&self) -> f64 {
+                self.0
+            }
+            fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+                Some(geometric(rng, self.0))
+            }
+        }
+        impl SparseProtocol for Fixed {
+            fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
+                rng.bernoulli(0.8)
+            }
+        }
+        let mk_trace = || {
+            let mut v = vec![(0u64, first)];
+            if second > 0 {
+                v.push((gap, second));
+            }
+            Trace::new(v)
+        };
+        let cfg = SimConfig::new(seed)
+            .limits(lowsense_sim::config::Limits::until_slot(horizon));
+        let fast = run_sparse(
+            &cfg,
+            mk_trace(),
+            lowsense_sim::jamming::RandomJam::new(rho),
+            |_| Fixed(p),
+            &mut NoHooks,
+        );
+        let reference = lowsense_sim::engine::run_sparse_reference(
+            &cfg,
+            mk_trace(),
+            lowsense_sim::jamming::RandomJam::new(rho),
+            |_| Fixed(p),
+            &mut NoHooks,
+        );
+        prop_assert_eq!(fast.totals, reference.totals);
+        prop_assert_eq!(fast.per_packet, reference.per_packet);
     }
 }

@@ -244,11 +244,11 @@ fn sparse_gap_accounting_is_exact_for_deterministic_jammer() {
         fn send_probability(&self) -> f64 {
             0.0
         }
+        fn next_wake(&mut self, _rng: &mut SimRng) -> Option<u64> {
+            None
+        }
     }
     impl SparseProtocol for Mute {
-        fn next_access_delay(&mut self, _rng: &mut SimRng) -> u64 {
-            u64::MAX
-        }
         fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
             false
         }

@@ -1,0 +1,200 @@
+//! Bit-for-bit equivalence of the calendar-queue sparse engine against the
+//! retained heap-based reference loop.
+//!
+//! The optimized engine (`run_sparse`) promises *identical executions*, not
+//! just statistical agreement: the same RNG draw order, the same
+//! floating-point accumulation order, the same hook sequence. These tests
+//! hold it to that promise across the canonical scenario registry, several
+//! protocols, metric configurations, and seeds, by comparing complete
+//! [`RunResult`]s — totals, per-packet statistics, and trajectory series —
+//! with exact equality.
+
+use lowsense::{lsb, LowSensing, Params};
+use lowsense_baselines::{
+    CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
+};
+use lowsense_sim::prelude::*;
+
+/// Exact comparison of every field of two [`RunResult`]s.
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.seed, b.seed, "{what}: seed");
+    assert_eq!(a.totals, b.totals, "{what}: totals");
+    match (&a.per_packet, &b.per_packet) {
+        (None, None) => {}
+        (Some(pa), Some(pb)) => assert_eq!(pa, pb, "{what}: per-packet stats"),
+        _ => panic!("{what}: per-packet presence differs"),
+    }
+    assert_eq!(a.series.len(), b.series.len(), "{what}: series length");
+    for (i, (sa, sb)) in a.series.iter().zip(&b.series).enumerate() {
+        assert_eq!(sa, sb, "{what}: series point {i}");
+    }
+}
+
+/// Every registry scenario, LSB protocol, three seeds: identical results.
+#[test]
+fn registry_is_bit_identical_under_lsb() {
+    for scenario in scenarios::registry(96) {
+        for seed in [1, 7, 1234] {
+            let s = scenario.seeded(seed);
+            let fast = s.run_sparse(lsb());
+            let reference = s.run_sparse_reference(lsb());
+            assert_identical(&fast, &reference, &format!("{} (seed {seed})", s.name()));
+        }
+    }
+}
+
+/// The trajectory series (geometric checkpoints, including the in-gap
+/// checkpoint path) must match sample-for-sample.
+#[test]
+fn registry_series_bit_identical() {
+    for scenario in scenarios::registry(64) {
+        let s = scenario.seeded(3).series(1.3);
+        let fast = s.run_sparse(lsb());
+        let reference = s.run_sparse_reference(lsb());
+        assert_identical(&fast, &reference, s.name());
+        assert!(
+            !fast.series.is_empty(),
+            "{}: series should have samples",
+            s.name()
+        );
+    }
+}
+
+/// Baseline protocols exercise different scheduling shapes: deterministic
+/// countdowns (BEB, polynomial), memoryless draws (ALOHA, ProbBeb), and the
+/// degenerate every-slot listener (CJP).
+#[test]
+fn baselines_bit_identical_on_jammed_batch() {
+    let s = scenarios::random_jam_batch(48, 0.15).seed(11);
+    assert_identical(
+        &s.run_sparse(|_| SlottedAloha::new(1.0 / 48.0)),
+        &s.run_sparse_reference(|_| SlottedAloha::new(1.0 / 48.0)),
+        "aloha",
+    );
+    assert_identical(
+        &s.run_sparse(|rng| WindowedBeb::new(4, 16, rng)),
+        &s.run_sparse_reference(|rng| WindowedBeb::new(4, 16, rng)),
+        "windowed-beb",
+    );
+    assert_identical(
+        &s.run_sparse(|_| ProbBeb::new(0.25)),
+        &s.run_sparse_reference(|_| ProbBeb::new(0.25)),
+        "prob-beb",
+    );
+    assert_identical(
+        &s.run_sparse(|rng| PolynomialBackoff::new(4, 2, rng)),
+        &s.run_sparse_reference(|rng| PolynomialBackoff::new(4, 2, rng)),
+        "polynomial",
+    );
+    let s = s.clone().until_slot(5_000);
+    assert_identical(
+        &s.run_sparse(|_| CjpMwu::new(CjpConfig::default())),
+        &s.run_sparse_reference(|_| CjpMwu::new(CjpConfig::default())),
+        "cjp (every-slot listener)",
+    );
+}
+
+/// Reactive jamming consults the adversary with the slot's sender set; the
+/// engines must present identical sets in identical order.
+#[test]
+fn reactive_adversaries_bit_identical() {
+    let s = scenarios::reactive_dos_batch(64, 40).seed(5);
+    assert_identical(
+        &s.run_sparse(lsb()),
+        &s.run_sparse_reference(lsb()),
+        "reactive-dos",
+    );
+    let s = Scenario::named("sniper")
+        .arrivals(Batch::new(32))
+        .jammer(WithReactive::new(
+            RandomJam::new(0.1),
+            ReactiveTargeted::new(PacketId(3), 8),
+        ))
+        .seed(9);
+    assert_identical(
+        &s.run_sparse(lsb()),
+        &s.run_sparse_reference(lsb()),
+        "sniper",
+    );
+}
+
+/// Far-future wake-ups (beyond the calendar ring) migrate through the
+/// overflow heap; tiny access probabilities exercise that path hard.
+#[test]
+fn far_horizon_wakeups_bit_identical() {
+    let s = Scenario::named("long-sleepers")
+        .arrivals(Trace::new(vec![(0, 8), (20_000, 8), (90_000, 8)]))
+        .seed(2)
+        .until_slot(400_000);
+    let factory = |_: &mut SimRng| LowSensing::with_window(Params::default(), 5e7);
+    assert_identical(
+        &s.run_sparse(factory),
+        &s.run_sparse_reference(factory),
+        "long-sleepers",
+    );
+}
+
+/// Step budgets cut runs mid-flight; both engines must stop on the same
+/// step with the same partial accounting.
+#[test]
+fn step_budget_cutoff_bit_identical() {
+    let s = scenarios::batch_drain(64).seed(4).limits(Limits {
+        max_slot: u64::MAX / 2,
+        max_steps: 500,
+    });
+    assert_identical(
+        &s.run_sparse(lsb()),
+        &s.run_sparse_reference(lsb()),
+        "budget",
+    );
+}
+
+/// Delays whose absolute wake slot saturates past the representable
+/// horizon are "never" in both engines — even with the slot clock opened
+/// all the way up, neither engine may process (or park forever) a
+/// saturated event.
+#[test]
+fn saturated_wake_slots_bit_identical() {
+    #[derive(Clone)]
+    struct FarFuture;
+    impl Protocol for FarFuture {
+        fn intent(&mut self, _rng: &mut SimRng) -> Intent {
+            Intent::Sleep
+        }
+        fn observe(&mut self, _obs: &Observation) {}
+        fn send_probability(&self) -> f64 {
+            0.0
+        }
+        fn next_wake(&mut self, _rng: &mut SimRng) -> Option<u64> {
+            Some(u64::MAX - 1) // finite, but offset() saturates to NEVER
+        }
+    }
+    impl SparseProtocol for FarFuture {
+        fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
+            false
+        }
+    }
+    let s = Scenario::named("saturated-wakes")
+        .arrivals(Trace::new(vec![(0, 2), (10, 1)]))
+        .seed(1)
+        .limits(Limits {
+            max_slot: u64::MAX,
+            max_steps: 1_000,
+        });
+    let fast = s.run_sparse(|_| FarFuture);
+    let reference = s.run_sparse_reference(|_| FarFuture);
+    assert_identical(&fast, &reference, "saturated-wakes");
+    assert_eq!(fast.totals.successes, 0);
+    assert_eq!(fast.totals.arrivals, 3);
+}
+
+/// `totals_only` runs (the benchmark configuration) are equivalent too.
+#[test]
+fn totals_only_bit_identical() {
+    let s = scenarios::random_jam_batch(256, 0.2).totals_only().seed(8);
+    assert_identical(
+        &s.run_sparse(lsb()),
+        &s.run_sparse_reference(lsb()),
+        "totals-only",
+    );
+}

@@ -3,8 +3,8 @@
 //! Provides the macro/strategy surface this repository's property tests
 //! use: `proptest! { #![proptest_config(..)] fn case(x in strategy) {..} }`,
 //! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`,
-//! numeric-range / tuple / [`Just`] strategies, and
-//! [`collection::vec`]. Tests run as seeded randomized tests: the RNG seed
+//! numeric-range / tuple / `Just` strategies, and
+//! `collection::vec`. Tests run as seeded randomized tests: the RNG seed
 //! is derived from the test name, so failures are reproducible, but there
 //! is **no shrinking** — a failing case reports its inputs via the assert
 //! message only.
