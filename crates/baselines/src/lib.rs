@@ -15,7 +15,7 @@
 //! engines, adversaries, and metrics as the core algorithm.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aloha;
 pub mod beb;

@@ -14,7 +14,7 @@
 //! The unconditional send probability is `1/w` in every configuration, so
 //! ablations isolate the *feedback loop*, not the offered load.
 
-use lowsense_sim::dist::geometric;
+use lowsense_sim::dist::{geometric4, geometric_fast};
 use lowsense_sim::feedback::{Feedback, Intent, Observation};
 use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
@@ -184,13 +184,29 @@ impl Protocol for LowSensingVariant {
     }
 
     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
-        Some(geometric(rng, self.access_probability()))
+        // `geometric_fast` (not `geometric`) so the scalar path is
+        // bit-identical per lane to the 4-wide `next_wake4` below.
+        Some(geometric_fast(rng, self.access_probability()))
     }
 }
 
 impl SparseProtocol for LowSensingVariant {
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
         rng.bernoulli(self.p_send() / self.access_probability())
+    }
+
+    // Variants listen without sending (unlike the oblivious baselines), so
+    // this override runs on the sparse engine's real listener-cohort path:
+    // four geometric redraws at per-lane access probabilities, uniforms
+    // drawn in ascending lane order, both logarithms 4-wide.
+    fn next_wake4(states: &mut [&mut Self; 4], rng: &mut SimRng) -> [Option<u64>; 4] {
+        let p = [
+            states[0].access_probability(),
+            states[1].access_probability(),
+            states[2].access_probability(),
+            states[3].access_probability(),
+        ];
+        geometric4(rng, p).map(Some)
     }
 }
 

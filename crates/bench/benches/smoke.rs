@@ -5,16 +5,25 @@
 //! ```
 //!
 //! Runs one representative scenario per engine and writes
-//! `BENCH_engine.json` (at the workspace root) with slots-per-second
-//! figures, so successive PRs have a perf trajectory to compare against.
-//! The format is a flat JSON object:
+//! `BENCH_engine.json` (at the workspace root) with slots-per-second and
+//! accesses-per-second figures, so successive PRs have a perf trajectory
+//! to compare against. The format is a flat JSON object:
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/1",
-//!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R } }
+//!   "schema": "lowsense-bench-engine/2",
+//!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
+//!                            "accesses": A, "accesses_per_sec": Q } }
 //! }
 //! ```
+//!
+//! `slots` and `slots_per_sec` are kept for trajectory continuity with the
+//! schema/1 files of earlier PRs, but **engine comparisons should use
+//! `accesses_per_sec`**: the event-driven engines account silent gap slots
+//! at `O(1)` per gap, so a workload that backs off further (e.g. the
+//! jammed entry) inflates its slot count with nearly-free skipped slots,
+//! while a channel access costs the same work in every run. Accesses are
+//! the engines' real unit of work (see docs/ARCHITECTURE.md).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -32,6 +41,7 @@ const OUT_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.
 struct Sample {
     name: &'static str,
     slots: u64,
+    accesses: u64,
     seconds: f64,
 }
 
@@ -39,20 +49,29 @@ impl Sample {
     fn slots_per_sec(&self) -> f64 {
         self.slots as f64 / self.seconds.max(1e-12)
     }
+
+    fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.seconds.max(1e-12)
+    }
 }
 
-/// Times `REPS` runs of `run`, counting simulated (active) slots.
+/// Times `REPS` runs of `run`, counting simulated (active) slots and
+/// channel accesses (sends + listens, the engines' real unit of work).
 fn measure(name: &'static str, mut run: impl FnMut(u64) -> RunResult) -> Sample {
     // Warm-up run; result intentionally discarded.
     let _ = run(0);
     let start = Instant::now();
     let mut slots = 0u64;
+    let mut accesses = 0u64;
     for seed in 1..=REPS {
-        slots += run(seed).totals.active_slots;
+        let totals = run(seed).totals;
+        slots += totals.active_slots;
+        accesses += totals.accesses();
     }
     Sample {
         name,
         slots,
+        accesses,
         seconds: start.elapsed().as_secs_f64(),
     }
 }
@@ -95,26 +114,30 @@ fn main() {
     ];
 
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/1\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/2\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
-            "    \"{}\": {{ \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1} }}{sep}\n",
+            "    \"{}\": {{ \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1}, \
+             \"accesses\": {}, \"accesses_per_sec\": {:.1} }}{sep}\n",
             s.name,
             s.slots,
             s.seconds,
-            s.slots_per_sec()
+            s.slots_per_sec(),
+            s.accesses,
+            s.accesses_per_sec()
         ));
     }
     json.push_str("  }\n}\n");
 
     for s in &samples {
         println!(
-            "smoke: {:<28} {:>12} slots in {:>8.3}s  ({:>12.0} slots/sec)",
+            "smoke: {:<28} {:>12} slots in {:>8.3}s  ({:>12.0} slots/sec, {:>12.0} accesses/sec)",
             s.name,
             s.slots,
             s.seconds,
-            s.slots_per_sec()
+            s.slots_per_sec(),
+            s.accesses_per_sec()
         );
     }
     let mut f = std::fs::File::create(OUT_FILE).expect("create BENCH_engine.json");

@@ -14,7 +14,7 @@
 //! (Theorem 5.25: every listen carries a `1/(c·ln³ w)` chance of being a
 //! send, so long listen streaks imply success).
 
-use lowsense_sim::dist::fast_ln;
+use lowsense_sim::dist::{fast_ln, fast_ln4, saturating_count};
 use lowsense_sim::feedback::{Feedback, Intent, Observation};
 use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
@@ -35,7 +35,11 @@ use crate::window;
 /// // Fresh packets send with probability exactly 1/w_min.
 /// assert!((p.send_probability() - 0.25).abs() < 1e-12);
 /// ```
+// 64-byte alignment pads the 7-f64 state to exactly one cache line, so the
+// event-driven engines' scattered per-listener table accesses touch one
+// line instead of straddling two ~75% of the time.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(64))]
 pub struct LowSensing {
     params: Params,
     w: f64,
@@ -110,6 +114,7 @@ impl LowSensing {
 }
 
 impl Protocol for LowSensing {
+    #[inline]
     fn intent(&mut self, rng: &mut SimRng) -> Intent {
         if !rng.bernoulli(self.p_listen) {
             return Intent::Sleep;
@@ -121,6 +126,7 @@ impl Protocol for LowSensing {
         }
     }
 
+    #[inline]
     fn observe(&mut self, obs: &Observation) {
         let new_w = match obs.feedback {
             Feedback::Empty => window::back_on_ln(&self.params, self.w, self.ln_w),
@@ -138,10 +144,12 @@ impl Protocol for LowSensing {
         self.recompute();
     }
 
+    #[inline]
     fn send_probability(&self) -> f64 {
         self.p_listen * self.p_send_given_listen
     }
 
+    #[inline]
     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
         // Exact inversion sampling, `k = ⌊ln U / ln(1-p_listen)⌋`, like
         // `dist::geometric` — but with the logarithm of `1-p` cached as a
@@ -154,18 +162,150 @@ impl Protocol for LowSensing {
             return Some(u64::MAX);
         }
         let u = 1.0 - rng.f64();
-        let k = fast_ln(u) * self.inv_ln_q_listen;
-        Some(if k >= u64::MAX as f64 {
-            u64::MAX
-        } else {
-            k as u64
-        })
+        Some(saturating_count(fast_ln(u) * self.inv_ln_q_listen))
     }
 }
 
 impl SparseProtocol for LowSensing {
+    #[inline]
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
         rng.bernoulli(self.p_send_given_listen)
+    }
+
+    // The 4-wide listener update. Per scalar listen, `observe` +
+    // `next_wake` cost three transcendentals (`ln w_new`,
+    // `ln(1 - p_listen)`, `ln U`); here each of the three is evaluated
+    // once for four lanes through `fast_ln4`, whose per-lane arithmetic is
+    // the scalar `fast_ln`'s — so every lane's state and delay are
+    // bit-identical to the scalar path, per the `SparseProtocol` batch
+    // contract (pinned by `batched_lanes_match_scalar_bitwise` below and
+    // by `tests/sparse_equivalence.rs` end to end).
+    #[inline]
+    fn observe4(states: &mut [&mut Self; 4], obs: &Observation) {
+        // Success slots change nothing (the scalar observe returns early).
+        if matches!(obs.feedback, Feedback::Success) {
+            return;
+        }
+        // Work on by-value lane copies: `LowSensing` is `Copy`, and a local
+        // array is provably alias-free, so everything below is branch-light
+        // elementwise arithmetic the auto-vectorizer can pack (through the
+        // `&mut` lanes, every store would pessimistically invalidate the
+        // other lanes' loads).
+        let mut lane = [*states[0], *states[1], *states[2], *states[3]];
+        // Window updates are pure arithmetic on the cached `ln w`; each
+        // lane evaluates exactly `window::back_{on,off}_ln`.
+        let mut new_w = [0.0f64; 4];
+        match obs.feedback {
+            Feedback::Empty => {
+                for i in 0..4 {
+                    new_w[i] = window::back_on_ln(&lane[i].params, lane[i].w, lane[i].ln_w);
+                }
+            }
+            Feedback::Noisy => {
+                for i in 0..4 {
+                    new_w[i] = window::back_off_ln(&lane[i].params, lane[i].w, lane[i].ln_w);
+                }
+            }
+            Feedback::Success => unreachable!("handled above"),
+        }
+        let mut changed = [false; 4];
+        for i in 0..4 {
+            changed[i] = new_w[i] != lane[i].w;
+        }
+        if changed == [false; 4] {
+            // Every lane's back-on clamped at the floor: the scalar path
+            // skips the recompute entirely, and so do we — no
+            // transcendentals, no write-back (the common steady state once
+            // a batch has drained down to herds parked at w_min).
+            return;
+        }
+        // First 4-wide transcendental: ln of the new windows. A lane whose
+        // back-on clamped at the floor keeps its whole cache (the scalar
+        // path skips its recompute); its slot in `new_w` is the old
+        // window, a valid input whose result is simply discarded.
+        let ln_w4 = fast_ln4(new_w);
+        // Derived probabilities for every lane unconditionally (again so
+        // the lanes pack); unchanged lanes discard them below.
+        let mut p_listen = [0.0f64; 4];
+        let mut p_send = [0.0f64; 4];
+        for i in 0..4 {
+            p_listen[i] = lane[i].params.listen_probability_ln(new_w[i], ln_w4[i]);
+            p_send[i] = lane[i].params.send_probability_given_listen_ln(ln_w4[i]);
+        }
+        for i in 0..4 {
+            if changed[i] {
+                lane[i].w = new_w[i];
+                lane[i].ln_w = ln_w4[i];
+                lane[i].p_listen = p_listen[i];
+                lane[i].p_send_given_listen = p_send[i];
+            }
+        }
+        // Second 4-wide transcendental: ln(1 - p_listen) for lanes in
+        // `recompute`'s common branch; the dummy 0.5 keeps other lanes'
+        // inputs in the normal range, and their results are discarded.
+        let mut q = [0.5f64; 4];
+        for i in 0..4 {
+            let pl = lane[i].p_listen;
+            if changed[i] && (1e-8..1.0).contains(&pl) {
+                q[i] = 1.0 - pl;
+            }
+        }
+        let ln_q4 = fast_ln4(q);
+        for i in 0..4 {
+            if changed[i] {
+                let pl = lane[i].p_listen;
+                lane[i].inv_ln_q_listen = if pl <= 0.0 || pl >= 1.0 {
+                    0.0
+                } else if pl < 1e-8 {
+                    1.0 / (-pl).ln_1p()
+                } else {
+                    1.0 / ln_q4[i]
+                };
+            }
+            *states[i] = lane[i];
+        }
+    }
+
+    #[inline]
+    // The negated guards reproduce the scalar `next_wake`'s exact branch
+    // structure, which the bit-identity contract of the batch pins.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn next_wake4(states: &mut [&mut Self; 4], rng: &mut SimRng) -> [Option<u64>; 4] {
+        // Uniforms are drawn in ascending lane order, degenerate lanes
+        // drawing nothing — the scalar `next_wake`'s guard structure,
+        // which keeps the RNG stream identical to four scalar calls.
+        let p_listen = [
+            states[0].p_listen,
+            states[1].p_listen,
+            states[2].p_listen,
+            states[3].p_listen,
+        ];
+        let inv = [
+            states[0].inv_ln_q_listen,
+            states[1].inv_ln_q_listen,
+            states[2].inv_ln_q_listen,
+            states[3].inv_ln_q_listen,
+        ];
+        let mut u = [1.0f64; 4];
+        let mut live = [false; 4];
+        for i in 0..4 {
+            if !(p_listen[i] >= 1.0) && !(p_listen[i] <= 0.0) {
+                u[i] = 1.0 - rng.f64();
+                live[i] = true;
+            }
+        }
+        let ln_u = fast_ln4(u);
+        let mut out = [None; 4];
+        for i in 0..4 {
+            out[i] = if live[i] {
+                Some(saturating_count(ln_u[i] * inv[i]))
+            } else if p_listen[i] >= 1.0 {
+                Some(0)
+            } else {
+                Some(u64::MAX)
+            };
+        }
+        out
     }
 }
 
@@ -287,5 +427,49 @@ mod tests {
     fn with_window_clamps() {
         let p = LowSensing::with_window(Params::default(), 1.0);
         assert_eq!(p.window(), 4.0);
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_bitwise() {
+        // Long mixed feedback walks: after every batched observe4 +
+        // next_wake4 round, all four lane states and delays must equal the
+        // scalar path's exactly (PartialEq on LowSensing compares every
+        // cached float). Clamped parameters (p_listen = 1 at small w)
+        // exercise the degenerate no-draw lanes.
+        for params in [
+            Params::default(),
+            Params::new(1.0, 8.0).unwrap(),
+            Params::new(2.0, 4.0).unwrap(), // clamps p_listen to 1 near w=e³
+        ] {
+            let mut scalar: Vec<LowSensing> = (0..4)
+                .map(|i| LowSensing::with_window(params, 4.0 + 17.0 * i as f64))
+                .collect();
+            let mut batched = scalar.clone();
+            let mut rng_s = SimRng::new(123);
+            let mut rng_b = SimRng::new(123);
+            let mut seq = SimRng::new(9);
+            for step in 0..3_000 {
+                let fb = match seq.range_u64(3) {
+                    0 => Feedback::Empty,
+                    1 => Feedback::Noisy,
+                    _ => Feedback::Success,
+                };
+                let o = obs(fb);
+                let mut delays_s = [None; 4];
+                for (lane, p) in scalar.iter_mut().enumerate() {
+                    p.observe(&o);
+                    delays_s[lane] = p.next_wake(&mut rng_s);
+                }
+                let [a, b, c, d] = &mut batched[..] else {
+                    unreachable!()
+                };
+                let mut lanes = [a, b, c, d];
+                LowSensing::observe4(&mut lanes, &o);
+                let delays_b = LowSensing::next_wake4(&mut lanes, &mut rng_b);
+                assert_eq!(delays_s, delays_b, "step {step}");
+                assert_eq!(scalar, batched, "step {step}");
+            }
+            assert_eq!(rng_s.next_u64(), rng_b.next_u64(), "stream lockstep");
+        }
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::rng::SimRng;
 
-/// Fast inlineable natural logarithm for finite positive normal inputs.
+/// Fast inlineable natural logarithm for finite positive inputs.
 ///
 /// `std`'s `f64::ln` is an out-of-line libm call; at ~6 ns per call it is
 /// one of the largest single costs of an event-driven simulation step (the
@@ -36,15 +36,31 @@ use crate::rng::SimRng;
 /// Accuracy: a few ulp (relative error < 1e-14 over the normal range, see
 /// the distribution tests) — far below Monte Carlo resolution. It is *not*
 /// correctly rounded; code that needs the exact `libm` bits should call
-/// `f64::ln`. Inputs must be finite, positive, and normal (the subnormal
-/// range `< 2^-1022` is not reduced correctly); callers in this codebase
-/// guarantee that by construction.
+/// `f64::ln`. Inputs must be finite and positive; the subnormal range
+/// `< 2^-1022` (whose exponent field the bit-level reduction cannot
+/// decode) takes a cold branch to `f64::ln`, so the contract is "finite
+/// positive", not "finite positive normal". For normal inputs the branch
+/// is a single well-predicted compare in front of the unchanged fast path.
 #[inline]
 pub fn fast_ln(x: f64) -> f64 {
     debug_assert!(
-        (f64::MIN_POSITIVE..=f64::MAX).contains(&x),
-        "fast_ln input {x} out of the positive normal range"
+        x > 0.0 && x <= f64::MAX,
+        "fast_ln input {x} out of the positive finite range"
     );
+    if x < f64::MIN_POSITIVE {
+        // Subnormal (or zero/negative under a violated contract): the
+        // exponent bits are no longer `biased exponent + mantissa`, so the
+        // reduction below would return garbage. This is far off every hot
+        // path — take the exact libm call.
+        return x.ln();
+    }
+    fast_ln_normal(x)
+}
+
+/// The normal-range core of [`fast_ln`], shared verbatim with [`fast_ln4`]
+/// so scalar and 4-lane evaluations are bit-identical per lane.
+#[inline(always)]
+fn fast_ln_normal(x: f64) -> f64 {
     let bits = x.to_bits();
     let e_raw = ((bits >> 52) & 0x7FF) as i64 - 1023;
     // Mantissa in [1, 2).
@@ -69,6 +85,31 @@ pub fn fast_ln(x: f64) -> f64 {
     let q1 = p67 * t2 + p45;
     let p = q1 * t4 + q0;
     2.0 * s * p + e * std::f64::consts::LN_2
+}
+
+/// Four independent [`fast_ln`] evaluations, laid out for the
+/// auto-vectorizer.
+///
+/// Each lane computes **exactly** the operations of the scalar [`fast_ln`]
+/// on its input, so `fast_ln4([a, b, c, d])` is bit-identical to
+/// `[fast_ln(a), fast_ln(b), fast_ln(c), fast_ln(d)]` — the property the
+/// batched observe/draw protocol path relies on to keep `RunResult`s
+/// bit-equal to the scalar engines. Lanes are independent straight-line
+/// arithmetic on a fixed-size array (no `std::simd` needed); when every
+/// lane is in the normal range the whole array goes through the SIMD-friendly
+/// core, and the rare subnormal lane falls back to per-lane scalar calls
+/// (which share the same core, so the result is unchanged).
+#[inline]
+pub fn fast_ln4(x: [f64; 4]) -> [f64; 4] {
+    if x.iter().all(|&v| v >= f64::MIN_POSITIVE) {
+        let mut out = [0.0; 4];
+        for i in 0..4 {
+            out[i] = fast_ln_normal(x[i]);
+        }
+        out
+    } else {
+        x.map(fast_ln)
+    }
 }
 
 /// Samples the number of failures before the first success of independent
@@ -103,13 +144,126 @@ pub fn geometric_with_ln_q(rng: &mut SimRng, ln_q: f64) -> u64 {
     debug_assert!(ln_q < 0.0, "ln(1-p) must be negative");
     // U uniform in (0, 1]; k = floor(ln U / ln(1-p)) is exactly geometric.
     let u = 1.0 - rng.f64();
-    let k = u.ln() / ln_q;
-    // NaN or overflow saturates to "never".
+    saturating_count(u.ln() / ln_q)
+}
+
+/// Converts a real-valued slot count to `u64`, saturating at `u64::MAX`
+/// ("never") for NaN and for anything at or past the representable top.
+///
+/// The boundary deserves spelling out, because `u64::MAX as f64` does not
+/// equal `u64::MAX`: `2^64 - 1` is not representable in `f64`, and the
+/// conversion rounds *up* to exactly `2^64` (nearest representable,
+/// ties-to-even; the candidates are `2^64 - 2048` and `2^64`, and
+/// `2^64 - 1` is nearer the latter). So the comparison below saturates
+/// every `k ≥ 2^64`. That leaves `[2^63, 2^64)` flowing into the `as u64`
+/// cast — which is safe: every `f64` in that range is an exact integer
+/// (the mantissa spacing there is ≥ 1024), the largest being
+/// `2^64 - 2048`, so the cast truncates nothing and can never wrap.
+/// (Rust's float→int `as` additionally saturates rather than wrapping,
+/// but this function does not rely on that backstop.) The
+/// `saturation_boundary` tests pin each of these cases.
+#[inline]
+pub fn saturating_count(k: f64) -> u64 {
+    // `u64::MAX as f64` == 2^64 exactly; see above.
     if k.is_nan() || k >= u64::MAX as f64 {
         u64::MAX
     } else {
         k as u64
     }
+}
+
+/// `ln(1 - p)` for the fast geometric samplers, with full precision for
+/// tiny `p`.
+///
+/// For `p < 1e-8` the rounding of `1 - p` would lose the entire signal, so
+/// `ln_1p` is used; above that threshold the subtraction is exact to ~1e-8
+/// relative and the inlinable [`fast_ln`] applies. The threshold mirrors
+/// the cached-reciprocal path in `LowSensing::recompute`.
+#[inline]
+fn ln_q_fast(p: f64) -> f64 {
+    if p < 1e-8 {
+        (-p).ln_1p()
+    } else {
+        fast_ln(1.0 - p)
+    }
+}
+
+/// [`geometric`] with the transcendentals routed through [`fast_ln`] /
+/// [`ln_1p`](f64::ln_1p): the scalar companion of [`geometric4`].
+///
+/// Statistically indistinguishable from [`geometric`] (the log is accurate
+/// to ~1e-14 relative) but *not* bit-identical to it — protocols choose one
+/// family and stay with it. `geometric_fast` and [`geometric4`] **are**
+/// bit-identical lane-for-lane, which is what lets a protocol use the
+/// scalar form in `next_wake` and the 4-wide form in `next_wake4` while
+/// the engines stay bit-equal.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `p` is NaN.
+#[inline]
+pub fn geometric_fast(rng: &mut SimRng, p: f64) -> u64 {
+    debug_assert!(!p.is_nan(), "geometric probability must not be NaN");
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    let u = 1.0 - rng.f64();
+    saturating_count(fast_ln(u) / ln_q_fast(p))
+}
+
+/// Four geometric draws at per-lane success probabilities, 4-wide.
+///
+/// Consumes the RNG **in ascending lane order**, with degenerate lanes
+/// (`p ≤ 0` or `p ≥ 1`) drawing nothing — exactly the consumption pattern
+/// of four sequential [`geometric_fast`] calls, which this function is
+/// bit-identical to (the `geometric4_matches_scalar_bitwise` test pins
+/// it). The uniform draws are serialized by the RNG, but both logarithms
+/// evaluate through [`fast_ln4`]-style independent lanes the
+/// auto-vectorizer can overlap.
+///
+/// # Panics
+///
+/// Panics (debug builds) if any `p` is NaN.
+#[inline]
+// The negated guards reproduce `geometric_fast`'s exact branch structure
+// (including where a contract-violating NaN would flow), which the
+// bit-identity contract of the batch pins.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn geometric4(rng: &mut SimRng, p: [f64; 4]) -> [u64; 4] {
+    let mut u = [1.0f64; 4];
+    let mut q = [0.5f64; 4];
+    let mut live = [false; 4];
+    for i in 0..4 {
+        debug_assert!(!p[i].is_nan(), "geometric probability must not be NaN");
+        // Mirror geometric_fast's guard structure exactly (`!(..)` so a
+        // contract-violating NaN takes the same path as the scalar form).
+        if !(p[i] >= 1.0) && !(p[i] <= 0.0) {
+            u[i] = 1.0 - rng.f64();
+            q[i] = 1.0 - p[i];
+            live[i] = true;
+        }
+    }
+    let ln_u = fast_ln4(u);
+    let ln_q = fast_ln4(q);
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = if live[i] {
+            let lq = if p[i] < 1e-8 {
+                (-p[i]).ln_1p()
+            } else {
+                ln_q[i]
+            };
+            saturating_count(ln_u[i] / lq)
+        } else if p[i] >= 1.0 {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    out
 }
 
 /// Binomial(`n`, `p`) sampler.
@@ -348,12 +502,27 @@ pub fn poisson(rng: &mut SimRng, lambda: f64) -> u64 {
     } else {
         // Normal approximation with continuity correction.
         let z = standard_normal(rng);
-        let x = lambda + lambda.sqrt() * z + 0.5;
-        if x < 0.0 {
-            0
-        } else {
-            x as u64
-        }
+        rounded_normal_count(lambda, z)
+    }
+}
+
+/// The rounded-normal branch of [`poisson`]: `⌊λ + √λ·z + ½⌋` clamped into
+/// `[0, u64::MAX]`.
+///
+/// A sufficiently negative draw (`z < -(√λ + ½/√λ)`, a ~5.6σ event at the
+/// λ ≈ 30 switchover) makes the continuity-corrected value negative; the
+/// count must clamp to 0, never wrap. The top end goes through
+/// [`saturating_count`] for the same audit as the geometric samplers
+/// (astronomical λ saturates to `u64::MAX` instead of relying on cast
+/// semantics). Exposed at crate level so the clamp has a direct
+/// regression test that does not depend on hunting a 5.6σ seed.
+#[inline]
+pub fn rounded_normal_count(lambda: f64, z: f64) -> u64 {
+    let x = lambda + lambda.sqrt() * z + 0.5;
+    if x < 0.0 {
+        0
+    } else {
+        saturating_count(x)
     }
 }
 
@@ -398,6 +567,47 @@ mod tests {
     }
 
     #[test]
+    fn fast_ln_subnormal_falls_back_to_libm() {
+        // Regression (release builds used to return garbage here): the
+        // contract is now "finite positive", subnormals included.
+        let subnormals = [
+            f64::from_bits(1),            // smallest positive subnormal
+            f64::from_bits(0xF_FFFF),     // mid subnormal
+            f64::MIN_POSITIVE / 2.0,      // large subnormal
+            f64::MIN_POSITIVE * 0.999999, // just below the normal range
+        ];
+        for x in subnormals {
+            assert!(
+                x > 0.0 && x < f64::MIN_POSITIVE,
+                "test input {x} not subnormal"
+            );
+            assert_eq!(fast_ln(x), x.ln(), "x={x:e}");
+        }
+        // The boundary itself still takes the fast path.
+        let x = f64::MIN_POSITIVE;
+        let rel = (fast_ln(x) - x.ln()).abs() / x.ln().abs();
+        assert!(rel < 1e-13, "boundary x={x:e}");
+    }
+
+    #[test]
+    fn fast_ln4_matches_scalar_bitwise() {
+        let mut rng = SimRng::new(99);
+        for _ in 0..50_000 {
+            let lanes = [
+                1.0 - rng.f64(),
+                (rng.f64() * 1380.0 - 690.0).exp2(),
+                rng.f64() + 0.5,
+                (rng.f64() * 100.0).exp(),
+            ];
+            assert_eq!(fast_ln4(lanes), lanes.map(fast_ln), "lanes {lanes:?}");
+        }
+        // A subnormal lane forces the fallback; the other lanes must be
+        // unchanged relative to their scalar results.
+        let mixed = [f64::from_bits(3), 0.25, 1.0, 3e200];
+        assert_eq!(fast_ln4(mixed), mixed.map(fast_ln));
+    }
+
+    #[test]
     fn fast_ln_exact_points() {
         assert_eq!(fast_ln(1.0), 0.0);
         assert!((fast_ln(std::f64::consts::E) - 1.0).abs() < 1e-14);
@@ -420,6 +630,127 @@ mod tests {
                     "p={p}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn saturation_boundary() {
+        // `u64::MAX as f64` rounds up to exactly 2^64 (see saturating_count
+        // docs); everything at or past it must saturate, everything below
+        // must cast exactly.
+        assert_eq!(u64::MAX as f64, 2f64.powi(64));
+        assert_eq!(saturating_count(2f64.powi(64)), u64::MAX);
+        assert_eq!(saturating_count(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating_count(f64::NAN), u64::MAX);
+        // Largest f64 below 2^64: 2^64 - 2048, an exact integer.
+        let top = f64::from_bits(2f64.powi(64).to_bits() - 1);
+        assert_eq!(top, 18_446_744_073_709_549_568.0);
+        assert_eq!(saturating_count(top), u64::MAX - 2047);
+        // The [2^63, 2^64) band that a wrapping cast would mangle.
+        assert_eq!(saturating_count(2f64.powi(63)), 1u64 << 63);
+        assert_eq!(saturating_count(2f64.powi(63) * 1.5), 3u64 << 62);
+        assert_eq!(saturating_count(0.0), 0);
+        assert_eq!(saturating_count(1e18), 1_000_000_000_000_000_000);
+    }
+
+    #[test]
+    fn geometric_tiny_p_saturation_regression() {
+        // p small enough that ln U / ln(1-p) lands at or beyond 2^64: the
+        // draw must saturate to "never", not wrap. With p = 1e-300,
+        // ln_q ≈ -1e-300 and |ln U| ≥ ~1e-16 ⇒ k ≥ ~1e284 >> 2^64.
+        let mut rng = SimRng::new(15);
+        let ln_q = -1e-300;
+        for _ in 0..1_000 {
+            assert_eq!(geometric_with_ln_q(&mut rng, ln_q), u64::MAX);
+        }
+        // And a regime where draws straddle the [2^63, 2^64) band: every
+        // result must be either saturated or an in-range exact cast, and
+        // at least one draw must actually exercise the band.
+        let mut rng = SimRng::new(16);
+        let ln_q = -1.0 / 6e18; // mean ≈ 6e18 ∈ [2^62, 2^64)
+        let mut in_band = 0u32;
+        for _ in 0..2_000 {
+            let k = geometric_with_ln_q(&mut rng, ln_q);
+            if (1u64 << 63..u64::MAX).contains(&k) {
+                in_band += 1;
+            }
+        }
+        assert!(in_band > 100, "only {in_band} draws hit [2^63, 2^64)");
+    }
+
+    #[test]
+    fn rounded_normal_count_clamps_at_zero() {
+        // Regression for the poisson large-λ branch: a deep-left draw must
+        // clamp to 0, never wrap. λ = 31 is just above the switchover.
+        assert_eq!(rounded_normal_count(31.0, -10.0), 0);
+        assert_eq!(rounded_normal_count(31.0, -6.0), 0);
+        assert_eq!(rounded_normal_count(100.0, -1e6), 0);
+        // Just inside vs. just outside the clamp.
+        assert_eq!(rounded_normal_count(31.0, -5.0), 3);
+        assert!(rounded_normal_count(31.0, 0.0) == 31);
+        // Top end saturates instead of relying on cast semantics.
+        assert_eq!(rounded_normal_count(1e300, 0.0), u64::MAX);
+    }
+
+    #[test]
+    fn poisson_large_lambda_never_panics_on_extreme_seeds() {
+        // Sweep many seeds through the rounded-normal branch; all counts
+        // must be valid u64s (the clamp path is hit or not, silently).
+        for seed in 0..200 {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..500 {
+                let _ = poisson(&mut rng, 31.0);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_fast_moments_and_edges() {
+        let mut rng = SimRng::new(31);
+        assert_eq!(geometric_fast(&mut rng, 1.0), 0);
+        assert_eq!(geometric_fast(&mut rng, 1.5), 0);
+        assert_eq!(geometric_fast(&mut rng, 0.0), u64::MAX);
+        assert_eq!(geometric_fast(&mut rng, -1.0), u64::MAX);
+        let p = 0.2;
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| geometric_fast(&mut rng, p) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 20.0).abs() < 1.0, "var {var}");
+        // Tiny p exercises the ln_1p branch.
+        let mut rng = SimRng::new(32);
+        let x = geometric_fast(&mut rng, 1e-12);
+        assert!(x > 1_000, "x = {x}");
+    }
+
+    #[test]
+    fn geometric4_matches_scalar_bitwise() {
+        // Same seed ⇒ geometric4 must reproduce four sequential
+        // geometric_fast draws exactly, including degenerate lanes that
+        // consume no randomness.
+        let lane_sets: [[f64; 4]; 5] = [
+            [0.3, 0.3, 0.3, 0.3],
+            [0.9, 0.01, 1e-10, 0.5],
+            [1.0, 0.2, 0.0, 0.7],  // mixed degenerate / live
+            [0.0, 1.0, 2.0, -0.5], // all degenerate: no RNG consumed
+            [1e-9, 1e-7, 0.999, 0.5],
+        ];
+        for p in lane_sets {
+            let mut a = SimRng::new(77);
+            let mut b = SimRng::new(77);
+            for _ in 0..5_000 {
+                let batch = geometric4(&mut a, p);
+                let scalar = [
+                    geometric_fast(&mut b, p[0]),
+                    geometric_fast(&mut b, p[1]),
+                    geometric_fast(&mut b, p[2]),
+                    geometric_fast(&mut b, p[3]),
+                ];
+                assert_eq!(batch, scalar, "p={p:?}");
+            }
+            // Streams must be in lockstep afterwards too.
+            assert_eq!(a.next_u64(), b.next_u64(), "p={p:?}");
         }
     }
 

@@ -8,10 +8,13 @@
 //!
 //! Scheduling runs on the calendar-queue [`WakeQueue`](crate::engine::wake)
 //! rather than a binary heap, so a channel access costs `O(1)` amortized
-//! bookkeeping instead of `O(log n)` scattered heap traffic — the
-//! difference is ~2.5x end-to-end at paper scale (see `BENCH_engine.json`,
-//! which records this engine and the reference on a bit-identical
-//! workload).
+//! bookkeeping instead of `O(log n)` scattered heap traffic, and the
+//! listener loop runs four packets at a time through the protocol layer's
+//! batched observe/draw surface
+//! ([`SparseProtocol::observe4`] / [`SparseProtocol::next_wake4`]), which
+//! evaluates the per-listen transcendentals SIMD-wide — together ~3.4x
+//! end-to-end at paper scale (see `BENCH_engine.json`, which records this
+//! engine and the reference on a bit-identical workload).
 //! The previous heap-based loop is retained as
 //! [`run_sparse_reference`](crate::engine::sparse_reference::run_sparse_reference),
 //! and the `sparse_equivalence` tests pin this engine to **bit-identical**
@@ -223,26 +226,88 @@ where
         // The listener loop is split into an observation pass and a wake
         // pass. Observations draw no randomness, so the split leaves the
         // RNG stream, the hook sequence, and the contention accumulation
-        // order exactly as in the interleaved reference loop — but it turns
-        // the observation pass into independent floating-point iterations
-        // the CPU can overlap, instead of serializing every listener's
-        // window update behind the previous listener's delay draw.
-        for &id in &listeners {
-            core.metrics.note_listen(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: false,
-                succeeded: false,
-            };
-            let p = &mut packets[id.index()];
-            let before = p.clone();
-            p.observe(&obs);
-            contention += p.send_probability() - before.send_probability();
-            hooks.on_observe(te, id, &before, p);
+        // order exactly as in the interleaved reference loop — and both
+        // passes run four listeners at a time through the protocol's
+        // batched observe/draw surface (`observe4` / `next_wake4`), whose
+        // contract is bit-identical lanes in ascending id order. Cohort
+        // collection is trivial here: `take` already returned the slot's
+        // participants sorted by id, so the cohorts are consecutive
+        // quadruples of `listeners`, with the tail (< 4 packets) going
+        // through the scalar methods the defaults fall back to anyway.
+        let obs = Observation {
+            slot: te,
+            feedback: fb,
+            sent: false,
+            succeeded: false,
+        };
+        let mut quads = listeners.chunks_exact(4);
+        for quad in quads.by_ref() {
+            let idx = [
+                quad[0].index(),
+                quad[1].index(),
+                quad[2].index(),
+                quad[3].index(),
+            ];
+            let mut lanes = packets
+                .get_disjoint_mut(idx)
+                .expect("listener ids are distinct and in bounds");
+            if hooks.wants_observe() {
+                let before = [
+                    lanes[0].clone(),
+                    lanes[1].clone(),
+                    lanes[2].clone(),
+                    lanes[3].clone(),
+                ];
+                P::observe4(&mut lanes, &obs);
+                for (k, &id) in quad.iter().enumerate() {
+                    core.metrics.note_listen(id);
+                    contention += lanes[k].send_probability() - before[k].send_probability();
+                    hooks.on_observe(te, id, &before[k], &*lanes[k]);
+                }
+            } else {
+                // Inert hooks: the `before` states exist only to feed
+                // `on_observe`, so skip the clones and keep just the prior
+                // send probabilities. The contention update below adds the
+                // exact same f64s in the exact same order as the cloning
+                // branch, so results stay bit-identical.
+                let before_sp = [
+                    lanes[0].send_probability(),
+                    lanes[1].send_probability(),
+                    lanes[2].send_probability(),
+                    lanes[3].send_probability(),
+                ];
+                P::observe4(&mut lanes, &obs);
+                for (k, &id) in quad.iter().enumerate() {
+                    core.metrics.note_listen(id);
+                    contention += lanes[k].send_probability() - before_sp[k];
+                }
+            }
+            // Wake draws for this cohort happen right here, before the next
+            // cohort is observed. That is still the reference loop's RNG
+            // stream: observations draw nothing, so the only draws are the
+            // wake draws, and those stay in ascending id order.
+            let delays = P::next_wake4(&mut lanes, &mut core.rng);
+            for (k, &id) in quad.iter().enumerate() {
+                if let Some(slot) = wake_slot(te + 1, delays[k]) {
+                    queue.schedule(slot, id.0);
+                }
+            }
         }
-        for &id in &listeners {
+        for &id in quads.remainder() {
+            core.metrics.note_listen(id);
             let p = &mut packets[id.index()];
+            if hooks.wants_observe() {
+                let before = p.clone();
+                p.observe(&obs);
+                contention += p.send_probability() - before.send_probability();
+                hooks.on_observe(te, id, &before, p);
+            } else {
+                // Same clone elision as the quad path (see above): identical
+                // arithmetic, no state pair materialized for inert hooks.
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+            }
             let delay = p.next_wake(&mut core.rng);
             if let Some(slot) = wake_slot(te + 1, delay) {
                 queue.schedule(slot, id.0);
@@ -263,10 +328,17 @@ where
                 succeeded,
             };
             let p = &mut packets[id.index()];
-            let before = p.clone();
-            p.observe(&obs);
-            contention += p.send_probability() - before.send_probability();
-            hooks.on_observe(te, id, &before, p);
+            if hooks.wants_observe() {
+                let before = p.clone();
+                p.observe(&obs);
+                contention += p.send_probability() - before.send_probability();
+                hooks.on_observe(te, id, &before, p);
+            } else {
+                // Same clone elision as the listener paths above.
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+            }
             if !succeeded {
                 let delay = p.next_wake(&mut core.rng);
                 if let Some(slot) = wake_slot(te + 1, delay) {

@@ -48,8 +48,14 @@ pub struct WakeQueue {
     in_ring: usize,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
-    /// `buckets[slot % RING]` holds the ids waking in `slot`.
-    buckets: Vec<Vec<u32>>,
+    /// Cached `base + RING`, the first slot past the ring window; kept in
+    /// sync by `advance_to` so the hot `schedule` path pays one compare
+    /// instead of a saturating add per event.
+    horizon: Slot,
+    /// `buckets[slot % RING]` holds the ids waking in `slot`. A boxed
+    /// fixed-size array (not a `Vec`) so masked indexing is provably in
+    /// bounds and the per-event push carries no bounds check.
+    buckets: Box<[Vec<u32>; RING]>,
     /// Events beyond the ring horizon, migrated inward by `advance_to`.
     far: BinaryHeap<Reverse<(Slot, u32)>>,
 }
@@ -63,11 +69,17 @@ impl Default for WakeQueue {
 impl WakeQueue {
     /// An empty queue with its window starting at slot 0.
     pub fn new() -> Self {
+        let buckets: Box<[Vec<u32>; RING]> = (0..RING)
+            .map(|_| Vec::new())
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("RING buckets");
         WakeQueue {
             base: 0,
             in_ring: 0,
             occupied: [0; WORDS],
-            buckets: (0..RING).map(|_| Vec::new()).collect(),
+            horizon: RING as u64,
+            buckets,
             far: BinaryHeap::new(),
         }
     }
@@ -83,7 +95,7 @@ impl WakeQueue {
     #[inline]
     pub fn schedule(&mut self, slot: Slot, id: u32) {
         debug_assert!(slot >= self.base, "scheduling into the past");
-        if slot < self.base.saturating_add(RING as u64) {
+        if slot < self.horizon {
             let idx = (slot as usize) & MASK;
             self.buckets[idx].push(id);
             self.occupied[idx / 64] |= 1u64 << (idx % 64);
@@ -143,9 +155,9 @@ impl WakeQueue {
     pub fn advance_to(&mut self, t: Slot) {
         debug_assert!(t >= self.base, "time moved backwards");
         self.base = t;
-        let horizon = t.saturating_add(RING as u64);
+        self.horizon = t.saturating_add(RING as u64);
         while let Some(&Reverse((s, id))) = self.far.peek() {
-            if s >= horizon {
+            if s >= self.horizon {
                 break;
             }
             self.far.pop();
@@ -160,7 +172,7 @@ impl WakeQueue {
     /// current window), appending the ids to `out` in ascending order.
     /// Entries already in `out` are left untouched.
     pub fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
-        debug_assert!(t >= self.base && t < self.base.saturating_add(RING as u64));
+        debug_assert!(t >= self.base && t < self.horizon);
         let idx = (t as usize) & MASK;
         let bucket = &mut self.buckets[idx];
         if bucket.is_empty() {
@@ -236,6 +248,60 @@ mod tests {
             events,
             vec![(RING as u64 - 1, vec![1]), (RING as u64, vec![2])]
         );
+    }
+
+    #[test]
+    fn schedule_and_take_at_window_edge_slots() {
+        // Pin the `schedule`/`take` window contract at the exact edge: with
+        // the window at `[base, base + RING)`, slot `base + RING - 1` is the
+        // last ring-resident slot (and the last slot `take` may be asked
+        // for), while `base + RING` must overflow into the far heap and
+        // migrate back in once the window has advanced. A non-zero,
+        // non-multiple-of-RING base exercises the index wrap too.
+        let base = 3 * RING as u64 + 17;
+        let mut q = WakeQueue::new();
+        q.advance_to(base);
+        q.schedule(base + RING as u64 - 1, 7); // last in-window slot
+        q.schedule(base + RING as u64, 8); // first beyond: far heap
+        q.schedule(base, 3); // window start is schedulable too
+        assert_eq!(q.next_slot(), Some(base));
+        let mut out = Vec::new();
+        q.take(base, &mut out);
+        assert_eq!(out, vec![3]);
+        assert_eq!(q.next_slot(), Some(base + RING as u64 - 1));
+        // Take at the very last in-window slot without advancing: `t` sits
+        // exactly at `horizon - 1`, the debug_assert's boundary.
+        out.clear();
+        q.take(base + RING as u64 - 1, &mut out);
+        assert_eq!(out, vec![7]);
+        // The far event becomes visible and migrates on advance.
+        assert_eq!(q.next_slot(), Some(base + RING as u64));
+        q.advance_to(base + RING as u64);
+        out.clear();
+        q.take(base + RING as u64, &mut out);
+        assert_eq!(out, vec![8]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_event_exactly_at_new_horizon_stays_far() {
+        // After advance_to(t), an event at `t + RING` is exactly at the new
+        // horizon and must stay in the far heap (the ring bucket for that
+        // slot index is `t`'s own bucket).
+        let mut q = WakeQueue::new();
+        q.schedule(100, 1);
+        q.schedule(100 + RING as u64, 2); // == horizon after advance_to(100)
+        q.advance_to(100);
+        let mut out = Vec::new();
+        q.take(100, &mut out);
+        assert_eq!(out, vec![1]);
+        // Event 2 is still pending and correctly ordered.
+        assert_eq!(q.next_slot(), Some(100 + RING as u64));
+        q.advance_to(100 + RING as u64);
+        out.clear();
+        q.take(100 + RING as u64, &mut out);
+        assert_eq!(out, vec![2]);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -16,6 +16,21 @@ use crate::time::Slot;
 /// `P` is the protocol type, so hooks can inspect protocol state (e.g. a
 /// backoff window) before and after each observation.
 pub trait Hooks<P> {
+    /// Whether this hook set actually inspects observation state pairs.
+    ///
+    /// Engines clone each listener's state solely to hand
+    /// [`Hooks::on_observe`] its `before`/`after` pair; a hook set that
+    /// leaves `on_observe` defaulted can return `false` and the hot
+    /// listener path skips the clone (and the call) entirely. This is a
+    /// pure engine-side elision: all accounting (contention deltas,
+    /// metrics, RNG draws) is unchanged, so `RunResult`s are bit-identical
+    /// either way — only the no-op calls disappear. Implementations must
+    /// return a constant (the engines monomorphize it into a dead-branch
+    /// removal, and may consult it once per run or once per slot).
+    fn wants_observe(&self) -> bool {
+        true
+    }
+
     /// A packet entered the system in slot `t` with initial state `state`.
     fn on_inject(&mut self, t: Slot, id: PacketId, state: &P) {
         let _ = (t, id, state);
@@ -50,13 +65,21 @@ pub trait Hooks<P> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoHooks;
 
-impl<P> Hooks<P> for NoHooks {}
+impl<P> Hooks<P> for NoHooks {
+    fn wants_observe(&self) -> bool {
+        false
+    }
+}
 
 /// Combines two hook sets; both observe every event, in order.
 #[derive(Debug, Clone, Default)]
 pub struct Both<A, B>(pub A, pub B);
 
 impl<P, A: Hooks<P>, B: Hooks<P>> Hooks<P> for Both<A, B> {
+    fn wants_observe(&self) -> bool {
+        self.0.wants_observe() || self.1.wants_observe()
+    }
+
     fn on_inject(&mut self, t: Slot, id: PacketId, state: &P) {
         self.0.on_inject(t, id, state);
         self.1.on_inject(t, id, state);

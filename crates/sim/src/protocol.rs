@@ -7,10 +7,25 @@
 //!
 //! [`SparseProtocol`] is the refinement that unlocks the exact event-driven
 //! engine: protocols whose state is frozen between channel accesses and
-//! whose next access time is samplable in closed form.
+//! whose next access time is samplable in closed form. Its defaulted
+//! [`observe4`](SparseProtocol::observe4) /
+//! [`next_wake4`](SparseProtocol::next_wake4) methods form the batched
+//! observe/draw surface: engines feed same-slot listener cohorts through
+//! them four at a time, and protocols whose per-listener math vectorizes
+//! (window updates, geometric redraws) override them with 4-wide
+//! implementations that stay bit-identical to the scalar path.
 
 use crate::feedback::{Intent, Observation};
 use crate::rng::SimRng;
+
+/// Lane count of the batched observe/draw protocol surface
+/// ([`SparseProtocol::observe4`] / [`SparseProtocol::next_wake4`]).
+///
+/// Four `f64` lanes fill one AVX register (and two SSE2 registers), which
+/// is the widest batch the auto-vectorizer reliably profits from without
+/// `std::simd`; the engines chunk listener cohorts at this width and
+/// handle the remainder through the scalar methods.
+pub const BATCH_LANES: usize = 4;
 
 /// Per-packet contention-resolution state machine.
 ///
@@ -74,6 +89,58 @@ pub trait SparseProtocol: Protocol {
     /// Given that the packet accesses the channel, samples whether it
     /// transmits (otherwise it listens only).
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool;
+
+    /// Delivers the same observation to four packets at once.
+    ///
+    /// This is the batched half of the engines' listener *observation
+    /// pass*: every lane heard the same slot, so a symmetric protocol can
+    /// evaluate four window updates as independent straight-line lanes the
+    /// auto-vectorizer overlaps, instead of serializing four scalar
+    /// [`Protocol::observe`] calls.
+    ///
+    /// # Contract
+    ///
+    /// Must leave every lane in **exactly** the state four scalar
+    /// `observe(obs)` calls would (bit-identical floats, not merely close):
+    /// the sparse engine uses this method while its reference oracle uses
+    /// the scalar path, and `tests/sparse_equivalence.rs` compares complete
+    /// `RunResult`s with exact equality. Observations draw no randomness,
+    /// so lane order within the batch is unobservable; the default simply
+    /// falls back to the scalar method per lane.
+    fn observe4(states: &mut [&mut Self; BATCH_LANES], obs: &Observation)
+    where
+        Self: Sized,
+    {
+        for s in states.iter_mut() {
+            s.observe(obs);
+        }
+    }
+
+    /// Samples four packets' next-wake delays at once.
+    ///
+    /// The batched half of the engines' *wake pass*. Unlike
+    /// [`observe4`](SparseProtocol::observe4) this consumes randomness, so
+    /// the contract pins the order: RNG values must be drawn **in
+    /// ascending lane order**, with each lane drawing exactly what its
+    /// scalar [`Protocol::next_wake`] would (including lanes that draw
+    /// nothing), and each lane's returned delay must be bit-identical to
+    /// the scalar call's. Overrides typically draw the lanes' uniforms
+    /// sequentially and then evaluate the logarithms 4-wide (see
+    /// [`geometric4`](crate::dist::geometric4)); the default falls back to
+    /// the scalar method per lane.
+    fn next_wake4(
+        states: &mut [&mut Self; BATCH_LANES],
+        rng: &mut SimRng,
+    ) -> [Option<u64>; BATCH_LANES]
+    where
+        Self: Sized,
+    {
+        let mut out = [None; BATCH_LANES];
+        for (o, s) in out.iter_mut().zip(states.iter_mut()) {
+            *o = s.next_wake(rng);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

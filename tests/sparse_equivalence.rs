@@ -11,9 +11,11 @@
 
 use lowsense::{lsb, LowSensing, Params};
 use lowsense_baselines::{
-    CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
+    CjpConfig, CjpMwu, Coupling, LowSensingVariant, PolynomialBackoff, ProbBeb, SlottedAloha,
+    UpdateRule, VariantConfig, WindowedBeb,
 };
 use lowsense_sim::prelude::*;
+use proptest::prelude::*;
 
 /// Exact comparison of every field of two [`RunResult`]s.
 fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
@@ -186,6 +188,78 @@ fn saturated_wake_slots_bit_identical() {
     assert_identical(&fast, &reference, "saturated-wakes");
     assert_eq!(fast.totals.successes, 0);
     assert_eq!(fast.totals.arrivals, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One registry sweep mixing batch-capable protocols with scalar-only
+    /// ones (`PolynomialBackoff` and `CjpMwu` ride the defaulted
+    /// fallbacks): whichever path a listener cohort takes, the
+    /// calendar-queue engine must stay bit-identical to the heap
+    /// reference. Of the batch-capable set, `LowSensing` and
+    /// `LowSensingVariant` actually reach their overrides through the
+    /// engine's listener cohorts; the oblivious always-send baselines
+    /// (`ProbBeb`, `SlottedAloha`, `WindowedBeb`) never listen, so their
+    /// overrides are pinned by direct unit tests in `lowsense-baselines`
+    /// and these cases regression-test their (shared) scalar path.
+    #[test]
+    fn mixed_batch_and_scalar_protocols_bit_identical(
+        scenario_idx in 0usize..64,
+        protocol in 0usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let registry = scenarios::registry(32);
+        // CJP listens every slot, so cap the horizon to keep the sweep fast;
+        // the cap applies to every case for comparability.
+        let s = registry[scenario_idx % registry.len()]
+            .seeded(seed)
+            .until_slot(10_000);
+        let what = format!("{} (seed {seed}, protocol {protocol})", s.name());
+        match protocol {
+            // Batch-capable protocols.
+            0 => assert_identical(&s.run_sparse(lsb()), &s.run_sparse_reference(lsb()), &what),
+            1 => assert_identical(
+                &s.run_sparse(|_| ProbBeb::new(0.25)),
+                &s.run_sparse_reference(|_| ProbBeb::new(0.25)),
+                &what,
+            ),
+            2 => assert_identical(
+                &s.run_sparse(|_| SlottedAloha::new(0.03)),
+                &s.run_sparse_reference(|_| SlottedAloha::new(0.03)),
+                &what,
+            ),
+            3 => assert_identical(
+                &s.run_sparse(|rng| WindowedBeb::new(4, 16, rng)),
+                &s.run_sparse_reference(|rng| WindowedBeb::new(4, 16, rng)),
+                &what,
+            ),
+            // Scalar-only protocols (defaulted observe4/next_wake4),
+            // plus the engine-reachable batched variant below (case 6).
+            4 => assert_identical(
+                &s.run_sparse(|rng| PolynomialBackoff::new(4, 2, rng)),
+                &s.run_sparse_reference(|rng| PolynomialBackoff::new(4, 2, rng)),
+                &what,
+            ),
+            5 => assert_identical(
+                &s.run_sparse(|_| CjpMwu::new(CjpConfig::default())),
+                &s.run_sparse_reference(|_| CjpMwu::new(CjpConfig::default())),
+                &what,
+            ),
+            _ => {
+                let cfg = VariantConfig {
+                    update: UpdateRule::Factor(2.0),
+                    coupling: Coupling::Independent,
+                    ..VariantConfig::paper(0.5, 4.0)
+                };
+                assert_identical(
+                    &s.run_sparse(move |_| LowSensingVariant::new(cfg)),
+                    &s.run_sparse_reference(move |_| LowSensingVariant::new(cfg)),
+                    &what,
+                )
+            }
+        }
+    }
 }
 
 /// `totals_only` runs (the benchmark configuration) are equivalent too.
