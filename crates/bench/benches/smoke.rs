@@ -105,6 +105,15 @@ fn main() {
                 .seeded(seed)
                 .run_sparse(|_| LowSensing::new(Params::default()))
         }),
+        // The reference loop on the jammed workload too, so the CI
+        // bit-exactness canary covers a jam-feedback path (back-offs, gap
+        // jam counting) and not only the clean drain.
+        measure("sparse_ref_lsb_16384_jammed", |seed| {
+            scenarios::random_jam_batch(16_384, 0.2)
+                .totals_only()
+                .seeded(seed)
+                .run_sparse_reference(|_| LowSensing::new(Params::default()))
+        }),
         measure("grouped_cjp_4096", |seed| {
             scenarios::batch_drain(4096)
                 .totals_only()

@@ -4,8 +4,9 @@
 //! one [`EngineCore`]: the core owns the run's RNG, the arrival cursor, the
 //! jammer (adaptive + reactive decision order), slot resolution, metrics,
 //! and safety limits, while the strategy owns only its per-packet
-//! bookkeeping (a packet table, an access heap, or cohort groups) and the
-//! order in which slots are visited. This is what keeps the three engines
+//! bookkeeping (an epoch-compacted packet table plus a calendar wake
+//! queue, an access heap, or cohort groups) and the order in which slots
+//! are visited. This is what keeps the three engines
 //! semantically interchangeable: the plumbing they share is shared code,
 //! not triplicated code.
 //!

@@ -10,9 +10,12 @@
 //!   oracle the others are validated against.
 //! * [`sparse`] — event-driven engine for [`SparseProtocol`] implementations:
 //!   a calendar-queue wake set ([`wake`]) makes a channel access `O(1)`
-//!   amortized, and silent slots are skipped exactly.
-//! * [`sparse_reference`] — the retained heap-based sparse loop; the
-//!   bit-for-bit equivalence oracle for [`sparse`].
+//!   amortized, per-packet state lives in an epoch-compacted dense table
+//!   ([`table`]), and silent slots are skipped exactly. Slots are processed
+//!   in insertion order — no per-slot sort.
+//! * [`sparse_reference`] — the retained heap-based sparse loop, keyed
+//!   `(slot, insertion_seq)`; the bit-for-bit equivalence oracle for
+//!   [`sparse`].
 //! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
 //!   listen every slot, `O(groups)` per slot.
 //!
@@ -28,6 +31,7 @@ pub mod dense;
 pub mod grouped;
 pub mod sparse;
 pub mod sparse_reference;
+pub mod table;
 pub mod wake;
 
 pub use self::core::EngineCore;
@@ -35,4 +39,5 @@ pub use dense::run_dense;
 pub use grouped::{run_grouped, SymmetricProtocol};
 pub use sparse::run_sparse;
 pub use sparse_reference::run_sparse_reference;
+pub use table::PacketTable;
 pub use wake::WakeQueue;

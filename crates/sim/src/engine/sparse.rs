@@ -8,19 +8,26 @@
 //!
 //! Scheduling runs on the calendar-queue [`WakeQueue`](crate::engine::wake)
 //! rather than a binary heap, so a channel access costs `O(1)` amortized
-//! bookkeeping instead of `O(log n)` scattered heap traffic, and the
-//! listener loop runs four packets at a time through the protocol layer's
-//! batched observe/draw surface
-//! ([`SparseProtocol::observe4`] / [`SparseProtocol::next_wake4`]), which
-//! evaluates the per-listen transcendentals SIMD-wide — together ~3.4x
-//! end-to-end at paper scale (see `BENCH_engine.json`, which records this
-//! engine and the reference on a bit-identical workload).
-//! The previous heap-based loop is retained as
-//! [`run_sparse_reference`](crate::engine::sparse_reference::run_sparse_reference),
-//! and the `sparse_equivalence` tests pin this engine to **bit-identical**
-//! [`RunResult`]s against it: same RNG draw order, same floating-point
-//! accumulation order, same hook sequence. Any edit here must preserve that
-//! ordering exactly.
+//! bookkeeping instead of `O(log n)` scattered heap traffic; per-packet
+//! state lives in the epoch-compacted
+//! [`PacketTable`], which keeps the live
+//! population dense in memory as the run drains; and the listener loop runs
+//! four packets at a time through the protocol layer's batched observe/draw
+//! surface ([`SparseProtocol::observe4`] / [`SparseProtocol::next_wake4`]),
+//! which evaluates the per-listen transcendentals SIMD-wide (see
+//! `BENCH_engine.json`, which records this engine and the reference on a
+//! bit-identical workload).
+//!
+//! Within one slot, packets are processed in **insertion order** — the
+//! order their wake events were scheduled — which the calendar queue hands
+//! back for free, with no per-slot sort. The previous heap-based loop is
+//! retained as
+//! [`run_sparse_reference`](crate::engine::sparse_reference::run_sparse_reference)
+//! with its heap re-keyed on `(slot, insertion_seq)` so it pops the exact
+//! same order, and the `sparse_equivalence` tests pin this engine to
+//! **bit-identical** [`RunResult`]s against it: same RNG draw order, same
+//! floating-point accumulation order, same hook sequence. Any edit here
+//! must preserve that ordering exactly.
 //!
 //! Cost: `O(accesses + arrivals + event slots · log participants)` in
 //! total. Because `LOW-SENSING BACKOFF` performs only polylog accesses per
@@ -31,7 +38,8 @@
 use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::engine::core::EngineCore;
-use crate::engine::wake::WakeQueue;
+use crate::engine::table::PacketTable;
+use crate::engine::wake::{cap_scratch, WakeQueue, SCRATCH_CAP};
 use crate::feedback::{Observation, SlotOutcome};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
@@ -94,10 +102,10 @@ where
 {
     let mut core = EngineCore::new(cfg, arrivals, jammer);
 
-    // Packet table indexed by id. Departed packets stay in place (their id
-    // never re-enters the wake set), which keeps the table `Vec<P>` instead
-    // of `Vec<Option<P>>` — less memory traffic on the hot listener path.
-    let mut packets: Vec<P> = Vec::new();
+    // Epoch-compacted packet table: live states stay dense in memory as
+    // the run drains, and the id → dense-index remap keeps original ids
+    // valid for the queue, hooks, metrics, and traces throughout.
+    let mut packets: PacketTable<P> = PacketTable::new();
     // Each live packet has exactly one scheduled access event in the queue.
     let mut queue = WakeQueue::new();
     let mut active_count: u64 = 0;
@@ -179,8 +187,7 @@ where
                 active_count += 1;
                 // Fresh packets may access from their injection slot onward.
                 let delay = p.next_wake(&mut core.rng);
-                debug_assert_eq!(packets.len(), id.index());
-                packets.push(p);
+                packets.insert(id, p);
                 if let Some(slot) = wake_slot(te, delay) {
                     queue.schedule(slot, id.0);
                 }
@@ -188,7 +195,8 @@ where
         }
 
         // Collect every packet accessing the channel in slot te, in
-        // ascending id order (the reference heap's pop order).
+        // insertion order (the (slot, seq)-keyed reference heap's pop
+        // order).
         participants.clear();
         queue.take(te, &mut participants);
 
@@ -210,7 +218,7 @@ where
         senders.clear();
         listeners.clear();
         for &id in &participants {
-            let p = &mut packets[id as usize];
+            let p = packets.state_mut(PacketId(id));
             if p.send_on_access(&mut core.rng) {
                 senders.push(PacketId(id));
             } else {
@@ -229,11 +237,12 @@ where
         // order exactly as in the interleaved reference loop — and both
         // passes run four listeners at a time through the protocol's
         // batched observe/draw surface (`observe4` / `next_wake4`), whose
-        // contract is bit-identical lanes in ascending id order. Cohort
+        // contract is bit-identical lanes in cohort order. Cohort
         // collection is trivial here: `take` already returned the slot's
-        // participants sorted by id, so the cohorts are consecutive
-        // quadruples of `listeners`, with the tail (< 4 packets) going
-        // through the scalar methods the defaults fall back to anyway.
+        // participants in insertion order (the reference oracle's
+        // processing order), so the cohorts are consecutive quadruples of
+        // `listeners`, with the tail (< 4 packets) going through the
+        // scalar methods the defaults fall back to anyway.
         let obs = Observation {
             slot: te,
             feedback: fb,
@@ -242,15 +251,7 @@ where
         };
         let mut quads = listeners.chunks_exact(4);
         for quad in quads.by_ref() {
-            let idx = [
-                quad[0].index(),
-                quad[1].index(),
-                quad[2].index(),
-                quad[3].index(),
-            ];
-            let mut lanes = packets
-                .get_disjoint_mut(idx)
-                .expect("listener ids are distinct and in bounds");
+            let mut lanes = packets.lanes4([quad[0], quad[1], quad[2], quad[3]]);
             if hooks.wants_observe() {
                 let before = [
                     lanes[0].clone(),
@@ -285,7 +286,7 @@ where
             // Wake draws for this cohort happen right here, before the next
             // cohort is observed. That is still the reference loop's RNG
             // stream: observations draw nothing, so the only draws are the
-            // wake draws, and those stay in ascending id order.
+            // wake draws, and those stay in the slot's insertion order.
             let delays = P::next_wake4(&mut lanes, &mut core.rng);
             for (k, &id) in quad.iter().enumerate() {
                 if let Some(slot) = wake_slot(te + 1, delays[k]) {
@@ -295,7 +296,7 @@ where
         }
         for &id in quads.remainder() {
             core.metrics.note_listen(id);
-            let p = &mut packets[id.index()];
+            let p = packets.state_mut(id);
             if hooks.wants_observe() {
                 let before = p.clone();
                 p.observe(&obs);
@@ -327,7 +328,7 @@ where
                 sent: true,
                 succeeded,
             };
-            let p = &mut packets[id.index()];
+            let p = packets.state_mut(id);
             if hooks.wants_observe() {
                 let before = p.clone();
                 p.observe(&obs);
@@ -347,12 +348,24 @@ where
             }
         }
         if let Some(id) = winner {
-            let p = &packets[id.index()];
+            let p = packets.state(id);
             contention -= p.send_probability();
             hooks.on_depart(te, id, p);
+            packets.retire(id);
             core.metrics.note_depart(id, te);
             active_count -= 1;
+            // End of the epoch? Compacting between slots moves memory
+            // only: processing order is owned by the queue and ids stay
+            // valid, so results are bit-identical either way.
+            packets.maybe_compact();
         }
+
+        // A pathological collision burst can balloon the per-slot scratch;
+        // give the excess back so one bad slot does not pin memory for the
+        // rest of the run.
+        cap_scratch(&mut participants, SCRATCH_CAP);
+        cap_scratch(&mut senders, SCRATCH_CAP);
+        cap_scratch(&mut listeners, SCRATCH_CAP);
 
         core.checkpoint(te, active_count, contention);
         now = te + 1;
@@ -560,6 +573,35 @@ mod tests {
             &mut hooks,
         );
         assert_eq!(hooks.gap_slots + hooks.event_slots, r.totals.active_slots);
+    }
+
+    #[test]
+    fn depart_ids_stay_original_across_table_compaction() {
+        // 300 packets drain to zero, which walks the packet table through
+        // several epoch compactions (threshold 32 dead, half-full). Hooks
+        // must keep seeing injection-order ids throughout — the table's
+        // dense shuffling is invisible — and each packet departs exactly
+        // once.
+        #[derive(Default)]
+        struct Departs {
+            seen: Vec<u32>,
+        }
+        impl Hooks<Fixed> for Departs {
+            fn on_depart(&mut self, _t: Slot, id: PacketId, _state: &Fixed) {
+                self.seen.push(id.0);
+            }
+        }
+        let mut hooks = Departs::default();
+        let r = run_sparse(
+            &SimConfig::new(21),
+            Batch::new(300),
+            NoJam,
+            |_| Fixed(0.02),
+            &mut hooks,
+        );
+        assert_eq!(r.totals.successes, 300);
+        hooks.seen.sort_unstable();
+        assert_eq!(hooks.seen, (0..300).collect::<Vec<_>>());
     }
 
     #[test]

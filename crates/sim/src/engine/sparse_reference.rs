@@ -2,12 +2,18 @@
 //! the calendar-queue engine in [`sparse`](crate::engine::sparse).
 //!
 //! This is a semantics-preserving port of the previous `run_sparse`
-//! implementation: one `(slot, id)` binary-heap entry per scheduled
-//! access, popped in `(slot, id)` order. (Two deliberate deltas from the
-//! historical loop: delay sampling goes through the `Protocol::next_wake`
-//! trait migration, and a finite delay whose absolute slot saturates past
-//! the representable horizon now collapses to "never" via
-//! `time::wake_slot` — in both engines identically.)
+//! implementation: one binary-heap entry per scheduled access, keyed
+//! `(slot, insertion_seq)` — `insertion_seq` counts scheduling calls
+//! across the run — so same-slot participants pop in the order their
+//! events were scheduled. That is exactly the order the calendar queue
+//! hands back for free (buckets drain in push order; see
+//! `crate::engine::wake`), which is what lets the optimized engine skip
+//! its former per-slot id sort while this oracle stays bit-identical to
+//! it. (Historical deltas, shared by both engines: delay sampling goes
+//! through the `Protocol::next_wake` trait migration; a finite delay whose
+//! absolute slot saturates past the representable horizon collapses to
+//! "never" via `time::wake_slot`; and the processing order within a slot
+//! is insertion order, where the pre-PR-4 loops used ascending id order.)
 //! The optimized engine must produce
 //! *bit-identical* [`RunResult`]s — same RNG draw order, same floating-point
 //! accumulation order — and the `sparse_equivalence` test suite holds the
@@ -52,8 +58,16 @@ where
     let mut core = EngineCore::new(cfg, arrivals, jammer);
 
     let mut packets: Vec<Option<P>> = Vec::new();
-    // Each live packet has exactly one scheduled access event in the heap.
-    let mut heap: BinaryHeap<Reverse<(Slot, u32)>> = BinaryHeap::new();
+    // Each live packet has exactly one scheduled access event in the heap,
+    // keyed `(slot, seq)`: `seq` is the event's position in the run's
+    // global scheduling stream, so same-slot pops replay insertion order.
+    let mut heap: BinaryHeap<Reverse<(Slot, u64, u32)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    // Pushes an access event, stamping the next insertion sequence number.
+    let mut push = |heap: &mut BinaryHeap<Reverse<(Slot, u64, u32)>>, slot: Slot, id: u32| {
+        heap.push(Reverse((slot, seq, id)));
+        seq += 1;
+    };
     let mut active_count: u64 = 0;
     let mut contention = 0.0f64;
 
@@ -82,7 +96,7 @@ where
         if core.steps_exhausted() {
             break;
         }
-        let next_access: Option<Slot> = heap.peek().map(|Reverse((s, _))| *s);
+        let next_access: Option<Slot> = heap.peek().map(|Reverse((s, _, _))| *s);
         let next_arrival: Option<Slot> = core
             .peek_arrival(now, active_count, contention)
             .map(|(s, _)| s);
@@ -133,14 +147,15 @@ where
                 debug_assert_eq!(packets.len(), id.index());
                 packets.push(Some(p));
                 if let Some(slot) = wake_slot(te, delay) {
-                    heap.push(Reverse((slot, id.0)));
+                    push(&mut heap, slot, id.0);
                 }
             }
         }
 
-        // Collect every packet accessing the channel in slot te.
+        // Collect every packet accessing the channel in slot te, in
+        // (slot, seq) pop order — the slot's insertion order.
         participants.clear();
-        while let Some(&Reverse((s, id))) = heap.peek() {
+        while let Some(&Reverse((s, _, id))) = heap.peek() {
             if s != te {
                 break;
             }
@@ -194,7 +209,7 @@ where
             hooks.on_observe(te, id, &before, p);
             let delay = p.next_wake(&mut core.rng);
             if let Some(slot) = wake_slot(te + 1, delay) {
-                heap.push(Reverse((slot, id.0)));
+                push(&mut heap, slot, id.0);
             }
         }
 
@@ -219,7 +234,7 @@ where
             if !succeeded {
                 let delay = p.next_wake(&mut core.rng);
                 if let Some(slot) = wake_slot(te + 1, delay) {
-                    heap.push(Reverse((slot, id.0)));
+                    push(&mut heap, slot, id.0);
                 }
             }
         }

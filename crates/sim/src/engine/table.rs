@@ -1,0 +1,368 @@
+//! Epoch-compacted hot-state packet table for the sparse engine.
+//!
+//! The sparse engine touches per-packet state on every channel access. A
+//! plain `Vec<P>` indexed by [`PacketId`] is the obvious layout, but it
+//! decays as the run drains: departed packets keep their dense slots, so a
+//! late-run cohort of `k` live packets is scattered across a table sized
+//! for *every packet ever injected*, and each access drags a mostly-dead
+//! cache line through the hierarchy. At paper scale (tens of thousands of
+//! packets, 64-byte protocol states) that scatter is a measurable slice of
+//! the whole simulation.
+//!
+//! [`PacketTable`] fixes the layout with a struct-of-arrays split plus
+//! **epoch compaction**:
+//!
+//! * the hot protocol states live in one dense array (`states`), with a
+//!   parallel array of their original ids (`ids`);
+//! * a stable remap `index_of: id → dense index` routes every access; its
+//!   `VACANT` sentinel doubles as the packet's departed status bit;
+//! * once enough packets have departed (an *epoch*, see
+//!   [`PacketTable::maybe_compact`]), the dense arrays are compacted in
+//!   place — live packets slide together, preserving their relative order,
+//!   and the dead states are dropped — so the working set tracks the live
+//!   population instead of the historical one.
+//!
+//! Compaction is invisible outside the table: hooks, metrics, and traces
+//! keep seeing original [`PacketId`]s (the engine never exposes dense
+//! indices), and compaction timing cannot affect results — it moves
+//! memory, not the processing order, which is owned by the
+//! [`WakeQueue`](crate::engine::wake::WakeQueue). The equivalence suite
+//! runs the compacting engine against the never-compacting reference
+//! oracle and demands bit-identical output.
+
+use crate::packet::PacketId;
+
+/// `index_of` sentinel: the packet has departed (its status bit).
+const VACANT: u32 = u32::MAX;
+
+/// Minimum number of departed-but-uncompacted packets before an epoch ends.
+/// Below this, compaction would churn memory for no locality gain.
+const EPOCH_MIN_DEAD: usize = 32;
+
+/// Dense, epoch-compacted storage of live per-packet protocol states.
+///
+/// Ids are assigned densely in injection order (see [`PacketId`]) and must
+/// be inserted in that order; lookups go through the id → dense-index
+/// remap, so callers never observe compaction.
+#[derive(Debug)]
+pub struct PacketTable<P> {
+    /// Protocol states, dense. Parallel to `ids`.
+    states: Vec<P>,
+    /// Original packet id of each dense entry. Parallel to `states`.
+    ids: Vec<u32>,
+    /// id → dense index, or [`VACANT`] once the packet departed.
+    index_of: Vec<u32>,
+    /// Departed packets still occupying dense entries (reset each epoch).
+    dead: usize,
+}
+
+impl<P> Default for PacketTable<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PacketTable<P> {
+    /// An empty table.
+    pub fn new() -> Self {
+        PacketTable {
+            states: Vec::new(),
+            ids: Vec::new(),
+            index_of: Vec::new(),
+            dead: 0,
+        }
+    }
+
+    /// Number of live packets.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.states.len() - self.dead
+    }
+
+    /// Number of dense entries, live or dead (the current working-set
+    /// size; shrinks at each compaction).
+    #[inline]
+    pub fn dense_len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The dense index a live packet currently resolves to, or `None` if it
+    /// departed. Exposed for tests and diagnostics; the engine itself never
+    /// leaks dense indices.
+    pub fn dense_index(&self, id: PacketId) -> Option<usize> {
+        match self.index_of.get(id.index()).copied() {
+            Some(i) if i != VACANT => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Inserts the state of a freshly injected packet.
+    ///
+    /// Ids must arrive in injection order (`0, 1, 2, …`), mirroring how
+    /// [`Metrics::note_inject`](crate::metrics::Metrics::note_inject)
+    /// assigns them.
+    #[inline]
+    pub fn insert(&mut self, id: PacketId, state: P) {
+        debug_assert_eq!(id.index(), self.index_of.len(), "ids in order");
+        self.index_of.push(self.states.len() as u32);
+        self.ids.push(id.0);
+        self.states.push(state);
+    }
+
+    /// The state of live packet `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet departed (in release builds via the dense
+    /// index lookup: the `VACANT` sentinel is always out of bounds); the
+    /// engine only resolves ids it knows to be live.
+    #[inline]
+    pub fn state(&self, id: PacketId) -> &P {
+        let idx = self.index_of[id.index()];
+        debug_assert_ne!(idx, VACANT, "access to departed {id}");
+        &self.states[idx as usize]
+    }
+
+    /// Mutable access to the state of live packet `id`.
+    #[inline]
+    pub fn state_mut(&mut self, id: PacketId) -> &mut P {
+        let idx = self.index_of[id.index()];
+        debug_assert_ne!(idx, VACANT, "access to departed {id}");
+        &mut self.states[idx as usize]
+    }
+
+    /// Gathers four distinct live packets' states as a batch-lane array for
+    /// the 4-wide observe/draw surface
+    /// ([`SparseProtocol::observe4`](crate::protocol::SparseProtocol::observe4)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are not distinct and live.
+    #[inline]
+    pub fn lanes4(&mut self, ids: [PacketId; 4]) -> [&mut P; 4] {
+        let idx = ids.map(|id| {
+            let i = self.index_of[id.index()];
+            debug_assert_ne!(i, VACANT, "lane access to departed {id}");
+            i as usize
+        });
+        self.states
+            .get_disjoint_mut(idx)
+            .expect("lane ids are distinct and live")
+    }
+
+    /// Marks packet `id` as departed. Its dense entry lingers (and its
+    /// state is dropped) until the next compaction.
+    #[inline]
+    pub fn retire(&mut self, id: PacketId) {
+        let idx = &mut self.index_of[id.index()];
+        debug_assert_ne!(*idx, VACANT, "double depart of {id}");
+        *idx = VACANT;
+        self.dead += 1;
+    }
+
+    /// Ends the epoch if enough of the dense table is dead: compacts when
+    /// at least `EPOCH_MIN_DEAD` (32) packets departed since the last
+    /// compaction *and* they make up at least half the dense entries.
+    ///
+    /// The half-full trigger makes the total compaction work geometric: a
+    /// drain from `n` packets costs `O(n)` moved states across all epochs
+    /// combined. Returns whether a compaction ran.
+    #[inline]
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.dead >= EPOCH_MIN_DEAD && 2 * self.dead >= self.states.len() {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Compacts the dense arrays in place: live packets slide to the front
+    /// (preserving their relative order), departed states are dropped, and
+    /// the id remap is rebuilt. Safe to call at any point — including
+    /// mid-slot between accesses — because no outstanding references exist
+    /// across engine calls and ids resolve identically afterwards.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let mut w = 0usize;
+        for r in 0..self.states.len() {
+            let id = self.ids[r] as usize;
+            if self.index_of[id] != VACANT {
+                self.states.swap(w, r);
+                self.ids[w] = self.ids[r];
+                self.index_of[id] = w as u32;
+                w += 1;
+            }
+        }
+        self.states.truncate(w);
+        self.ids.truncate(w);
+        self.dead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(n: u32) -> PacketTable<u64> {
+        let mut t = PacketTable::new();
+        for id in 0..n {
+            // State encodes the id so moves are detectable.
+            t.insert(PacketId(id), 1000 + id as u64);
+        }
+        t
+    }
+
+    /// Every live id resolves to its own state.
+    fn assert_consistent(t: &PacketTable<u64>, live: &[u32]) {
+        assert_eq!(t.live(), live.len());
+        for &id in live {
+            assert_eq!(*t.state(PacketId(id)), 1000 + id as u64, "id {id}");
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = table_of(5);
+        assert_eq!(t.live(), 5);
+        assert_eq!(t.dense_len(), 5);
+        assert_eq!(*t.state(PacketId(3)), 1003);
+        *t.state_mut(PacketId(3)) += 1;
+        assert_eq!(*t.state(PacketId(3)), 1004);
+        assert_eq!(t.dense_index(PacketId(3)), Some(3));
+    }
+
+    #[test]
+    fn retire_hides_the_packet_and_compaction_reclaims_it() {
+        let mut t = table_of(4);
+        t.retire(PacketId(1));
+        assert_eq!(t.live(), 3);
+        assert_eq!(t.dense_len(), 4, "entry lingers until compaction");
+        assert_eq!(t.dense_index(PacketId(1)), None);
+        t.compact();
+        assert_eq!(t.dense_len(), 3);
+        assert_consistent(&t, &[0, 2, 3]);
+    }
+
+    #[test]
+    fn compaction_preserves_relative_order() {
+        let mut t = table_of(6);
+        t.retire(PacketId(0));
+        t.retire(PacketId(3));
+        t.compact();
+        // Survivors keep their injection order in the dense array.
+        assert_eq!(t.ids, vec![1, 2, 4, 5]);
+        assert_consistent(&t, &[1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn compaction_mid_slot_keeps_remap_consistent() {
+        // The engine may (in principle) compact between two accesses of the
+        // same slot: interleave state touches, retires, and a compaction,
+        // and every surviving id must still resolve to its own state.
+        let mut t = table_of(8);
+        *t.state_mut(PacketId(5)) += 10; // 1015
+        t.retire(PacketId(0));
+        t.retire(PacketId(2));
+        t.retire(PacketId(6));
+        // "Mid-slot": some accesses happened, more follow after compacting.
+        t.compact();
+        assert_eq!(*t.state(PacketId(5)), 1015, "pre-compaction write kept");
+        *t.state_mut(PacketId(5)) -= 10;
+        let lanes = t.lanes4([PacketId(1), PacketId(3), PacketId(4), PacketId(7)]);
+        assert_eq!(*lanes[0], 1001);
+        assert_eq!(*lanes[3], 1007);
+        t.retire(PacketId(5));
+        assert_consistent(&t, &[1, 3, 4, 7]);
+    }
+
+    #[test]
+    fn zero_live_compaction_empties_the_table_and_accepts_new_inserts() {
+        let mut t = table_of(3);
+        for id in 0..3 {
+            t.retire(PacketId(id));
+        }
+        assert_eq!(t.live(), 0);
+        t.compact();
+        assert_eq!(t.dense_len(), 0);
+        assert_eq!(t.live(), 0);
+        // Fresh injections keep working; ids continue the global sequence.
+        t.insert(PacketId(3), 1003);
+        assert_consistent(&t, &[3]);
+        assert_eq!(t.dense_index(PacketId(3)), Some(0));
+    }
+
+    #[test]
+    fn remap_stays_stable_across_two_compactions() {
+        // Hooks/metrics/trace identify packets by original id; two rounds
+        // of departures + compaction must not perturb what any id resolves
+        // to, even as dense indices shuffle underneath.
+        let mut t = table_of(10);
+        for id in [0, 1, 2, 3] {
+            t.retire(PacketId(id));
+        }
+        t.compact();
+        assert_eq!(t.dense_index(PacketId(9)), Some(5));
+        assert_consistent(&t, &[4, 5, 6, 7, 8, 9]);
+        for id in [5, 7, 8] {
+            t.retire(PacketId(id));
+        }
+        t.compact();
+        assert_eq!(t.dense_index(PacketId(9)), Some(2), "shifted again");
+        assert_consistent(&t, &[4, 6, 9]);
+        // Ids retired in earlier epochs stay retired.
+        for id in [0, 1, 2, 3, 5, 7, 8] {
+            assert_eq!(t.dense_index(PacketId(id)), None);
+        }
+    }
+
+    #[test]
+    fn maybe_compact_honours_the_epoch_thresholds() {
+        // Too few dead: no epoch, regardless of fraction.
+        let mut t = table_of(4);
+        t.retire(PacketId(0));
+        t.retire(PacketId(1));
+        t.retire(PacketId(2));
+        assert!(!t.maybe_compact());
+        assert_eq!(t.dense_len(), 4);
+        // Enough dead but under half the dense entries: still no epoch.
+        let mut t = table_of(3 * EPOCH_MIN_DEAD as u32);
+        for id in 0..EPOCH_MIN_DEAD as u32 {
+            t.retire(PacketId(id));
+        }
+        assert!(!t.maybe_compact());
+        // One more epoch's worth pushes past half: compacts.
+        for id in EPOCH_MIN_DEAD as u32..2 * EPOCH_MIN_DEAD as u32 {
+            t.retire(PacketId(id));
+        }
+        assert!(t.maybe_compact());
+        assert_eq!(t.dense_len(), EPOCH_MIN_DEAD);
+        assert_eq!(t.live(), EPOCH_MIN_DEAD);
+        assert!(!t.maybe_compact(), "fresh epoch starts clean");
+    }
+
+    #[test]
+    fn compact_with_no_dead_is_a_noop() {
+        let mut t = table_of(4);
+        t.compact();
+        assert_eq!(t.dense_len(), 4);
+        assert_consistent(&t, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lanes4_resolves_through_the_remap() {
+        let mut t = table_of(12);
+        for id in [0, 2, 4, 6] {
+            t.retire(PacketId(id));
+        }
+        t.compact();
+        let lanes = t.lanes4([PacketId(11), PacketId(1), PacketId(7), PacketId(3)]);
+        assert_eq!(
+            [*lanes[0], *lanes[1], *lanes[2], *lanes[3]],
+            [1011, 1001, 1007, 1003],
+            "unsorted lane ids gather their own states"
+        );
+    }
+}

@@ -2,10 +2,10 @@
 //!
 //! A [`WakeQueue`] holds, for every live packet, the one slot in which it
 //! will next access the channel. The classic structure for this is a binary
-//! heap keyed by `(slot, id)` — but a heap pays `O(log n)` scattered memory
-//! touches *per access*, and at paper scale (tens of thousands of packets,
-//! hundreds of accesses per slot) those heap ops dominate the whole
-//! simulation. This module replaces the heap with a **calendar queue**:
+//! heap — but a heap pays `O(log n)` scattered memory touches *per access*,
+//! and at paper scale (tens of thousands of packets, hundreds of accesses
+//! per slot) those heap ops dominate the whole simulation. This module
+//! replaces the heap with a **calendar queue**:
 //!
 //! * a ring of `RING` buckets covers the slots `[base, base + RING)`; an
 //!   event lands in bucket `slot % RING` with an O(1) push;
@@ -14,14 +14,36 @@
 //! * the rare event scheduled beyond the ring horizon overflows into a
 //!   small binary heap and migrates into the ring as time advances.
 //!
-//! Within one slot the engine must process packets in ascending id order
-//! (that is the pop order of the `(slot, id)` heap it replaces, and RNG
-//! reproducibility pins it), so [`WakeQueue::take`] sorts the bucket — a
-//! contiguous `u32` sort, far cheaper than the per-element heap traffic it
-//! replaces.
+//! # Insertion-order drain
 //!
-//! Total cost: `O(1)` amortized per scheduled access plus `O(k log k)` per
-//! event slot with `k` participants, instead of `O(log n)` per access.
+//! Within one slot the engine processes packets in **insertion order**: the
+//! order in which their events were [`schedule`](WakeQueue::schedule)d,
+//! across the whole run. [`WakeQueue::take`] therefore just hands back the
+//! bucket as-is — no per-slot sort — because a bucket is *already* in
+//! insertion order:
+//!
+//! * direct pushes land in the bucket in call order, and every `schedule`
+//!   call carries an implicit global sequence number (its position in the
+//!   run's schedule-call stream);
+//! * far events are keyed by `(slot, seq)` in the overflow heap, so when a
+//!   slot's far events migrate inward they arrive in ascending-seq order;
+//! * far and direct pushes for one slot cannot interleave: an event for
+//!   slot `s` goes far only while `s ≥ horizon` and direct only while
+//!   `s < horizon`, and the horizon never decreases — so every far event
+//!   for `s` precedes (in seq) every direct event for `s`, and the
+//!   migration happens at the exact `advance_to` that makes direct pushes
+//!   to `s` possible.
+//!
+//! The engine's reproducibility contract is re-pinned on the same order:
+//! the reference oracle
+//! ([`run_sparse_reference`](crate::engine::sparse_reference)) keys its
+//! heap by `(slot, seq)`, which pops exactly this drain order. See
+//! `docs/ARCHITECTURE.md` ("Insertion-order processing & the (slot, seq)
+//! oracle") for why the two orders coincide.
+//!
+//! Total cost: `O(1)` amortized per scheduled access plus `O(k)` per event
+//! slot with `k` participants — the former `O(k log k)` per-slot sort is
+//! gone.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -35,11 +57,87 @@ const RING: usize = 1 << 12;
 const MASK: usize = RING - 1;
 const WORDS: usize = RING / 64;
 
+/// Retained capacity (in events) of a drained bucket's spill vector. A
+/// pathological collision burst can balloon one bucket to tens of
+/// thousands of entries; without a cap that memory is pinned for the rest
+/// of the run in all 4096 buckets. Oversized spills are shrunk back to
+/// this bound after draining.
+const BUCKET_CAP: usize = 64;
+
+/// Events stored inline in a bucket before spilling to its vector. Sized
+/// so one bucket is exactly one cache line: the common push touches a
+/// single line instead of a `Vec` header plus a separately allocated data
+/// line. Steady-state occupancy (live packets spread over the ring) is a
+/// handful of events per bucket, so the spill path is rare.
+const INLINE: usize = 6;
+
+/// One calendar bucket: a cache-line cell holding its slot's pending ids
+/// in insertion order — the first [`INLINE`] inline, the rest in `spill`.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Bucket {
+    /// Ids pushed while `len < INLINE`; `inline[..len]` is valid.
+    inline: [u32; INLINE],
+    /// Inline occupancy (spilling starts only once this hits `INLINE`).
+    len: u32,
+    /// Overflow beyond the inline cell, still in push order.
+    spill: Vec<u32>,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            inline: [0; INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Total pending events in this bucket.
+    #[inline]
+    fn count(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// Appends `id`, preserving push order across the inline/spill split.
+    #[inline]
+    fn push(&mut self, id: u32) {
+        let n = self.len as usize;
+        if n < INLINE {
+            self.inline[n] = id;
+            self.len += 1;
+        } else {
+            self.spill.push(id);
+        }
+    }
+}
+
+/// Retained capacity (in events) of the engine-side per-slot scratch
+/// vectors (participants / senders / listeners). Sized to hold the largest
+/// cohorts ordinary workloads produce so the shrink never fires on the hot
+/// path; see [`cap_scratch`].
+pub(crate) const SCRATCH_CAP: usize = 4096;
+
+/// Releases the excess capacity of a per-slot scratch vector after a
+/// pathological burst.
+///
+/// Shrinks only when capacity exceeds *twice* `cap` — the hysteresis keeps
+/// a workload that legitimately hovers around `cap` from reallocating every
+/// slot — and shrinks back to `cap`, not zero, so the steady state keeps
+/// its warm allocation.
+#[inline]
+pub(crate) fn cap_scratch<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() > 2 * cap {
+        v.shrink_to(cap);
+    }
+}
+
 /// Calendar queue of pending wake events, keyed by absolute slot.
 ///
 /// Slots must be consumed in nondecreasing order via
 /// [`WakeQueue::advance_to`] + [`WakeQueue::take`]; events may only be
-/// scheduled at or after the current base slot.
+/// scheduled at or after the current base slot. Within one slot, events
+/// come back in insertion order (the order of the `schedule` calls).
 #[derive(Debug)]
 pub struct WakeQueue {
     /// Start of the ring window `[base, base + RING)`.
@@ -52,12 +150,17 @@ pub struct WakeQueue {
     /// sync by `advance_to` so the hot `schedule` path pays one compare
     /// instead of a saturating add per event.
     horizon: Slot,
-    /// `buckets[slot % RING]` holds the ids waking in `slot`. A boxed
-    /// fixed-size array (not a `Vec`) so masked indexing is provably in
-    /// bounds and the per-event push carries no bounds check.
-    buckets: Box<[Vec<u32>; RING]>,
-    /// Events beyond the ring horizon, migrated inward by `advance_to`.
-    far: BinaryHeap<Reverse<(Slot, u32)>>,
+    /// Position of the next `schedule` call in the run's global schedule
+    /// stream. Far events carry it so migration replays insertion order.
+    seq: u64,
+    /// `buckets[slot % RING]` holds the ids waking in `slot`, in insertion
+    /// order, inline-first (see [`Bucket`]). A boxed fixed-size array (not
+    /// a `Vec`) so masked indexing is provably in bounds and the per-event
+    /// push carries no bounds check.
+    buckets: Box<[Bucket; RING]>,
+    /// Events beyond the ring horizon, keyed `(slot, seq, id)` and migrated
+    /// inward by `advance_to` in that order.
+    far: BinaryHeap<Reverse<(Slot, u64, u32)>>,
 }
 
 impl Default for WakeQueue {
@@ -67,10 +170,14 @@ impl Default for WakeQueue {
 }
 
 impl WakeQueue {
+    /// Width in slots of the in-ring scheduling window `[base, base +
+    /// WINDOW)`; events at or past `base + WINDOW` spill into the far heap.
+    pub const WINDOW: u64 = RING as u64;
+
     /// An empty queue with its window starting at slot 0.
     pub fn new() -> Self {
-        let buckets: Box<[Vec<u32>; RING]> = (0..RING)
-            .map(|_| Vec::new())
+        let buckets: Box<[Bucket; RING]> = (0..RING)
+            .map(|_| Bucket::new())
             .collect::<Vec<_>>()
             .try_into()
             .expect("RING buckets");
@@ -79,6 +186,7 @@ impl WakeQueue {
             in_ring: 0,
             occupied: [0; WORDS],
             horizon: RING as u64,
+            seq: 0,
             buckets,
             far: BinaryHeap::new(),
         }
@@ -95,14 +203,24 @@ impl WakeQueue {
     #[inline]
     pub fn schedule(&mut self, slot: Slot, id: u32) {
         debug_assert!(slot >= self.base, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
         if slot < self.horizon {
             let idx = (slot as usize) & MASK;
             self.buckets[idx].push(id);
             self.occupied[idx / 64] |= 1u64 << (idx % 64);
             self.in_ring += 1;
         } else {
-            self.far.push(Reverse((slot, id)));
+            self.far.push(Reverse((slot, seq, id)));
         }
+    }
+
+    /// Debug-only invariant check used by the model proptest: the spill
+    /// vector may be non-empty only when the inline cell is full.
+    #[cfg(test)]
+    pub(crate) fn bucket_shape(&self, slot: Slot) -> (usize, usize) {
+        let b = &self.buckets[(slot as usize) & MASK];
+        (b.len as usize, b.spill.len())
     }
 
     /// The earliest slot with a pending event, if any.
@@ -111,7 +229,7 @@ impl WakeQueue {
             // Ring events always precede far events (far ≥ base + RING).
             Some(self.next_ring_slot())
         } else {
-            self.far.peek().map(|Reverse((s, _))| *s)
+            self.far.peek().map(|Reverse((s, _, _))| *s)
         }
     }
 
@@ -156,7 +274,12 @@ impl WakeQueue {
         debug_assert!(t >= self.base, "time moved backwards");
         self.base = t;
         self.horizon = t.saturating_add(RING as u64);
-        while let Some(&Reverse((s, id))) = self.far.peek() {
+        // Pops come out keyed `(slot, seq, _)`, so each bucket receives its
+        // slot's migrants in ascending insertion order — and any direct
+        // push to those slots can only happen after this migration (the
+        // slot was at or past the horizon until now), keeping the whole
+        // bucket insertion-ordered.
+        while let Some(&Reverse((s, _, id))) = self.far.peek() {
             if s >= self.horizon {
                 break;
             }
@@ -169,20 +292,25 @@ impl WakeQueue {
     }
 
     /// Drains every event scheduled for slot `t` (which must lie inside the
-    /// current window), appending the ids to `out` in ascending order.
-    /// Entries already in `out` are left untouched.
+    /// current window), appending the ids to `out` in insertion order (the
+    /// order of the `schedule` calls). Entries already in `out` are left
+    /// untouched.
     pub fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
         debug_assert!(t >= self.base && t < self.horizon);
         let idx = (t as usize) & MASK;
         let bucket = &mut self.buckets[idx];
-        if bucket.is_empty() {
+        let n = bucket.count();
+        if n == 0 {
             return;
         }
-        self.in_ring -= bucket.len();
+        self.in_ring -= n;
         self.occupied[idx / 64] &= !(1u64 << (idx % 64));
-        let start = out.len();
-        out.append(bucket);
-        out[start..].sort_unstable();
+        // Inline entries were pushed strictly before any spill entry, so
+        // inline-then-spill is push order.
+        out.extend_from_slice(&bucket.inline[..bucket.len as usize]);
+        bucket.len = 0;
+        out.append(&mut bucket.spill);
+        cap_scratch(&mut bucket.spill, BUCKET_CAP);
     }
 }
 
@@ -190,7 +318,8 @@ impl WakeQueue {
 mod tests {
     use super::*;
 
-    /// Drains the queue fully, returning (slot, sorted ids) per event slot.
+    /// Drains the queue fully, returning (slot, insertion-ordered ids) per
+    /// event slot.
     fn drain(q: &mut WakeQueue) -> Vec<(Slot, Vec<u32>)> {
         let mut events = Vec::new();
         let mut out = Vec::new();
@@ -212,29 +341,56 @@ mod tests {
     }
 
     #[test]
-    fn orders_by_slot_then_id() {
+    fn orders_by_slot_then_insertion() {
         let mut q = WakeQueue::new();
         q.schedule(5, 2);
         q.schedule(3, 7);
         q.schedule(5, 1);
         q.schedule(3, 0);
         let events = drain(&mut q);
-        assert_eq!(events, vec![(3, vec![0, 7]), (5, vec![1, 2])]);
+        // Within a slot, ids come back in schedule-call order, not sorted.
+        assert_eq!(events, vec![(3, vec![7, 0]), (5, vec![2, 1])]);
         assert!(q.is_empty());
     }
 
     #[test]
-    fn far_events_migrate_into_the_ring() {
+    fn far_events_migrate_into_the_ring_in_insertion_order() {
         let mut q = WakeQueue::new();
         q.schedule(2, 1);
         q.schedule(1_000_000, 3); // far beyond the ring
         q.schedule(1_000_000, 2);
         q.schedule(50_000, 9);
         let events = drain(&mut q);
+        // Slot 1_000_000 drains [3, 2]: the far heap is keyed (slot, seq),
+        // so migration replays the schedule-call order, not id order.
         assert_eq!(
             events,
-            vec![(2, vec![1]), (50_000, vec![9]), (1_000_000, vec![2, 3])]
+            vec![(2, vec![1]), (50_000, vec![9]), (1_000_000, vec![3, 2])]
         );
+    }
+
+    #[test]
+    fn far_migrants_precede_direct_pushes_in_their_bucket() {
+        // An event scheduled while its slot was beyond the horizon must
+        // drain before one scheduled directly once the window had advanced
+        // — that is the (slot, seq) order, since the far schedule happened
+        // first.
+        let target = WakeQueue::WINDOW + 100;
+        let mut q = WakeQueue::new();
+        q.schedule(target, 9); // far (beyond horizon at base 0)
+        q.schedule(200, 1);
+        let mut out = Vec::new();
+        q.advance_to(200);
+        q.take(200, &mut out);
+        assert_eq!(out, vec![1]);
+        // `target` is now inside the window: the far event has migrated,
+        // and a direct push appends after it despite the smaller id.
+        q.schedule(target, 4);
+        q.advance_to(target);
+        out.clear();
+        q.take(target, &mut out);
+        assert_eq!(out, vec![9, 4]);
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -319,15 +475,20 @@ mod tests {
     }
 
     #[test]
-    fn matches_reference_heap_on_random_workload() {
+    fn matches_seq_keyed_reference_heap_on_random_workload() {
+        // The reference oracle keys its heap (slot, seq): pop order within
+        // a slot is schedule-call order. The calendar queue must drain in
+        // exactly that order on a workload mixing near and far delays.
         use crate::rng::SimRng;
         let mut rng = SimRng::new(42);
         let mut q = WakeQueue::new();
-        let mut heap: BinaryHeap<Reverse<(Slot, u32)>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<(Slot, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
         for id in 0..512u32 {
             let s = rng.range_u64(64);
             q.schedule(s, id);
-            heap.push(Reverse((s, id)));
+            heap.push(Reverse((s, seq, id)));
+            seq += 1;
         }
         let mut processed = 0u32;
         while let Some(s) = q.next_slot() {
@@ -335,14 +496,15 @@ mod tests {
             let mut got = Vec::new();
             q.take(s, &mut got);
             for &id in &got {
-                let Reverse((hs, hid)) = heap.pop().expect("heap in sync");
+                let Reverse((hs, _, hid)) = heap.pop().expect("heap in sync");
                 assert_eq!((hs, hid), (s, id));
                 processed += 1;
                 // Reschedule a while: mixed near/far delays.
                 if processed < 4_000 {
                     let d = 1 + rng.range_u64(10_000);
                     q.schedule(s + d, id);
-                    heap.push(Reverse((s + d, id)));
+                    heap.push(Reverse((s + d, seq, id)));
+                    seq += 1;
                 }
             }
         }
@@ -359,5 +521,126 @@ mod tests {
         q.take(5, &mut out);
         assert!(out.is_empty());
         assert_eq!(q.next_slot(), Some(10));
+    }
+
+    #[test]
+    fn oversized_bucket_capacity_is_released_after_drain() {
+        // A collision burst parks far more events in one slot than the
+        // steady state ever will; the drained bucket must give the memory
+        // back instead of pinning it for the rest of the run.
+        let mut q = WakeQueue::new();
+        let burst = 16 * BUCKET_CAP as u32;
+        for id in 0..burst {
+            q.schedule(7, id);
+        }
+        let mut out = Vec::new();
+        q.advance_to(7);
+        q.take(7, &mut out);
+        assert_eq!(out.len(), burst as usize);
+        assert_eq!(out, (0..burst).collect::<Vec<_>>());
+        assert!(
+            q.buckets[7].spill.capacity() <= BUCKET_CAP,
+            "bucket kept {} spill capacity",
+            q.buckets[7].spill.capacity()
+        );
+        // A modest bucket keeps its warm spill allocation (hysteresis).
+        for id in 0..BUCKET_CAP as u32 {
+            q.schedule(9, id);
+        }
+        let before = q.buckets[9].spill.capacity();
+        out.clear();
+        q.take(9, &mut out);
+        assert_eq!(q.buckets[9].spill.capacity(), before);
+    }
+
+    mod model {
+        //! The queue against an insertion-order `BTreeMap` model.
+        //!
+        //! The model is the contract in its simplest form: a
+        //! `BTreeMap<Slot, Vec<u32>>` whose per-slot `Vec` is append-only
+        //! push order. Random workloads sweep ring wraparound (starting
+        //! bases near `WINDOW` multiples), far-heap spill (deltas past the
+        //! window), and exactly-at-horizon pushes (delta == `WINDOW`), and
+        //! every drained slot must hand back exactly the model's ids, in
+        //! the model's order.
+
+        use super::*;
+        use proptest::prelude::*;
+        use proptest::test_runner::TestCaseError;
+        use std::collections::BTreeMap;
+
+        /// Takes slot `t` from both structures and asserts they agree.
+        fn take_and_check(
+            q: &mut WakeQueue,
+            model: &mut BTreeMap<Slot, Vec<u32>>,
+            t: Slot,
+        ) -> Result<(), TestCaseError> {
+            prop_assert_eq!(Some(t), model.keys().next().copied());
+            q.advance_to(t);
+            let mut got = Vec::new();
+            q.take(t, &mut got);
+            let want = model.remove(&t).expect("model has the slot");
+            prop_assert_eq!(&got, &want);
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn drains_in_model_order(
+                // Bases straddling ring multiples exercise index wrap.
+                start in 0u64..3 * WakeQueue::WINDOW,
+                // Deltas up to WINDOW + 2 cover in-ring, the exact horizon
+                // (== WINDOW, which must spill far), and beyond.
+                batches in proptest::collection::vec(
+                    proptest::collection::vec(0u64..WakeQueue::WINDOW + 3, 1..8),
+                    1..40,
+                ),
+            ) {
+                let mut q = WakeQueue::new();
+                let mut model: BTreeMap<Slot, Vec<u32>> = BTreeMap::new();
+                q.advance_to(start);
+                let mut now = start;
+                let mut next_id = 0u32;
+                for batch in &batches {
+                    for &delta in batch {
+                        let slot = now + delta;
+                        q.schedule(slot, next_id);
+                        model.entry(slot).or_default().push(next_id);
+                        next_id += 1;
+                        // Inline/spill split invariant: spilling only
+                        // happens once the inline cell is full.
+                        let (inline, spill) = q.bucket_shape(slot);
+                        prop_assert!(spill == 0 || inline == INLINE);
+                    }
+                    // Drain one event slot, keeping the two in lockstep.
+                    let next = q.next_slot().expect("events pending");
+                    take_and_check(&mut q, &mut model, next)?;
+                    now = next;
+                }
+                // Drain the rest.
+                while let Some(next) = q.next_slot() {
+                    take_and_check(&mut q, &mut model, next)?;
+                }
+                prop_assert!(model.is_empty());
+                prop_assert!(q.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cap_scratch_shrinks_only_past_hysteresis() {
+        let mut v: Vec<u32> = Vec::with_capacity(10 * SCRATCH_CAP);
+        cap_scratch(&mut v, SCRATCH_CAP);
+        assert!(v.capacity() <= SCRATCH_CAP, "capacity {}", v.capacity());
+        let mut warm: Vec<u32> = Vec::with_capacity(2 * SCRATCH_CAP);
+        cap_scratch(&mut warm, SCRATCH_CAP);
+        assert_eq!(warm.capacity(), 2 * SCRATCH_CAP, "within band: untouched");
+        // Live entries survive a shrink.
+        let mut live: Vec<u32> = Vec::with_capacity(3 * SCRATCH_CAP);
+        live.extend(0..10);
+        cap_scratch(&mut live, SCRATCH_CAP);
+        assert_eq!(live, (0..10).collect::<Vec<_>>());
     }
 }

@@ -15,6 +15,12 @@ use crate::time::Slot;
 /// All methods have empty default bodies; implement only what you need.
 /// `P` is the protocol type, so hooks can inspect protocol state (e.g. a
 /// backoff window) before and after each observation.
+///
+/// Packet identity is always the original injection-order [`PacketId`]:
+/// engines that relocate per-packet state internally (the sparse engine's
+/// epoch-compacted table remaps ids to dense indices) resolve the remap
+/// before calling any hook, so one id refers to one packet for the whole
+/// run.
 pub trait Hooks<P> {
     /// Whether this hook set actually inspects observation state pairs.
     ///

@@ -106,7 +106,9 @@ pub trait SparseProtocol: Protocol {
     /// the scalar path, and `tests/sparse_equivalence.rs` compares complete
     /// `RunResult`s with exact equality. Observations draw no randomness,
     /// so lane order within the batch is unobservable; the default simply
-    /// falls back to the scalar method per lane.
+    /// falls back to the scalar method per lane. (The engines fill lanes
+    /// in cohort order — the slot's insertion order — but a conforming
+    /// implementation never depends on which packet rides which lane.)
     fn observe4(states: &mut [&mut Self; BATCH_LANES], obs: &Observation)
     where
         Self: Sized,
@@ -121,10 +123,11 @@ pub trait SparseProtocol: Protocol {
     /// The batched half of the engines' *wake pass*. Unlike
     /// [`observe4`](SparseProtocol::observe4) this consumes randomness, so
     /// the contract pins the order: RNG values must be drawn **in
-    /// ascending lane order**, with each lane drawing exactly what its
-    /// scalar [`Protocol::next_wake`] would (including lanes that draw
-    /// nothing), and each lane's returned delay must be bit-identical to
-    /// the scalar call's. Overrides typically draw the lanes' uniforms
+    /// ascending lane order** (lane 0 first; the engines fill lanes in
+    /// cohort order, i.e. the slot's insertion order), with each lane
+    /// drawing exactly what its scalar [`Protocol::next_wake`] would
+    /// (including lanes that draw nothing), and each lane's returned delay
+    /// must be bit-identical to the scalar call's. Overrides typically draw the lanes' uniforms
     /// sequentially and then evaluate the logarithms 4-wide (see
     /// [`geometric4`](crate::dist::geometric4)); the default falls back to
     /// the scalar method per lane.

@@ -2,7 +2,10 @@
 //!
 //! [`EventLog`] is a [`Hooks`] implementation that records injections,
 //! observations, slot outcomes, gaps, and departures — capped at a
-//! configurable length so long runs cannot exhaust memory. It is the
+//! configurable length so long runs cannot exhaust memory. Logged
+//! [`PacketId`]s are original injection-order ids, stable for the whole
+//! run: the sparse engine's internal table compaction never shows through
+//! (see [`PacketTable`](crate::engine::table::PacketTable)). It is the
 //! debugging companion for protocol implementations: run a small instance,
 //! dump the log, and read the execution slot by slot.
 //!

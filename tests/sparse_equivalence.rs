@@ -3,11 +3,18 @@
 //!
 //! The optimized engine (`run_sparse`) promises *identical executions*, not
 //! just statistical agreement: the same RNG draw order, the same
-//! floating-point accumulation order, the same hook sequence. These tests
-//! hold it to that promise across the canonical scenario registry, several
-//! protocols, metric configurations, and seeds, by comparing complete
-//! [`RunResult`]s — totals, per-packet statistics, and trajectory series —
-//! with exact equality.
+//! floating-point accumulation order, the same hook sequence. Since PR 4
+//! the shared processing order within a slot is **insertion order**: the
+//! reference keys its heap `(slot, insertion_seq)` while the calendar
+//! queue drains buckets in push order, two implementations of the same
+//! order — which is what lets the fast engine skip per-slot sorting and
+//! run its packet table through epoch compaction without these
+//! comparisons noticing. The tests hold both engines to that promise
+//! across the canonical scenario registry (including its jammed and
+//! reactive-adversary scenarios), several protocols, metric
+//! configurations, and seeds, by comparing complete [`RunResult`]s —
+//! totals, per-packet statistics, and trajectory series — with exact
+//! equality.
 
 use lowsense::{lsb, LowSensing, Params};
 use lowsense_baselines::{
