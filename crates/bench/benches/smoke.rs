@@ -7,13 +7,16 @@
 //! Runs one representative scenario per engine and writes
 //! `BENCH_engine.json` (at the workspace root) with slots-per-second and
 //! accesses-per-second figures, so successive PRs have a perf trajectory
-//! to compare against. The format is a flat JSON object:
+//! to compare against. Schema 3 adds a `campaign` section timing the tiny
+//! face-off sweep (cells per second on the shard pool):
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/2",
+//!   "schema": "lowsense-bench-engine/3",
 //!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
-//!                            "accesses": A, "accesses_per_sec": Q } }
+//!                            "accesses": A, "accesses_per_sec": Q } },
+//!   "campaign": { "<name>": { "cells": C, "runs": U, "seconds": S,
+//!                             "cells_per_sec": R } }
 //! }
 //! ```
 //!
@@ -30,6 +33,7 @@ use std::time::Instant;
 
 use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu};
+use lowsense_experiments::campaigns;
 use lowsense_sim::metrics::RunResult;
 use lowsense_sim::scenario::scenarios;
 
@@ -122,8 +126,24 @@ fn main() {
         }),
     ];
 
+    // The campaign smoke entry: the tiny face-off sweep (the same spec the
+    // CI determinism canary runs), timed end to end on the shard pool —
+    // cells/sec is the sweep layer's unit of work.
+    let campaign_spec = campaigns::faceoff_small_spec(42);
+    let _warm = campaign_spec.run();
+    let campaign_start = Instant::now();
+    let campaign_reps = 3u32;
+    for _ in 0..campaign_reps {
+        let result = campaign_spec.run();
+        assert_eq!(result.cells.len(), campaign_spec.cell_count());
+    }
+    let campaign_seconds = campaign_start.elapsed().as_secs_f64();
+    let campaign_cells = campaign_spec.cell_count() as u64 * campaign_reps as u64;
+    let campaign_runs = campaign_spec.unit_count() as u64 * campaign_reps as u64;
+    let cells_per_sec = campaign_cells as f64 / campaign_seconds.max(1e-12);
+
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/2\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/3\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
@@ -137,6 +157,12 @@ fn main() {
             s.accesses_per_sec()
         ));
     }
+    json.push_str("  },\n  \"campaign\": {\n");
+    json.push_str(&format!(
+        "    \"campaign_faceoff_small\": {{ \"cells\": {}, \"runs\": {}, \"seconds\": {:.6}, \
+         \"cells_per_sec\": {:.1} }}\n",
+        campaign_cells, campaign_runs, campaign_seconds, cells_per_sec
+    ));
     json.push_str("  }\n}\n");
 
     for s in &samples {
@@ -149,6 +175,10 @@ fn main() {
             s.accesses_per_sec()
         );
     }
+    println!(
+        "smoke: {:<28} {:>12} cells in {:>8.3}s  ({:>12.1} cells/sec, {} runs)",
+        "campaign_faceoff_small", campaign_cells, campaign_seconds, cells_per_sec, campaign_runs
+    );
     let mut f = std::fs::File::create(OUT_FILE).expect("create BENCH_engine.json");
     f.write_all(json.as_bytes())
         .expect("write BENCH_engine.json");

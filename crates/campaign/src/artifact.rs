@@ -1,0 +1,256 @@
+//! Machine-readable campaign artifacts (`CAMPAIGN_<name>.json`) and the
+//! human-readable table.
+//!
+//! The JSON is schema-versioned (`lowsense-campaign/1`) like
+//! `BENCH_engine.json`, and is emitted by a deterministic hand-rolled
+//! writer: keys in fixed order, floats via Rust's shortest-roundtrip
+//! `Display` — so the artifact bytes are a pure function of the
+//! [`CampaignResult`], which in turn is a pure function of the spec
+//! (including across shard counts; the CI canary diffs 1-shard vs 4-shard
+//! bytes). Deliberately **absent** from the artifact: shard count, timing,
+//! host — anything that would vary across equivalent executions.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use lowsense_stats::Welford;
+
+use crate::exec::{CampaignResult, CellReport};
+
+/// Schema tag of the JSON artifact.
+pub const SCHEMA: &str = "lowsense-campaign/1";
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float deterministically (shortest roundtrip); non-finite
+/// values (which no accumulator should produce) become `null`.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `{"n": …, "mean": …, "sd": …, "se": …, "min": …, "max": …}` of a
+/// Welford accumulator (degenerate zeros when empty).
+fn welford_json(w: &Welford) -> String {
+    let s = w.summary();
+    format!(
+        "{{ \"n\": {}, \"mean\": {}, \"sd\": {}, \"se\": {}, \"min\": {}, \"max\": {} }}",
+        s.n,
+        num(s.mean),
+        num(s.sd),
+        num(s.se),
+        num(s.min),
+        num(s.max)
+    )
+}
+
+fn cell_json(cell: &CellReport, out: &mut String) {
+    let s = &cell.stats;
+    let _ = write!(
+        out,
+        "    {{\n      \"cell_index\": {}, \"scenario\": \"{}\", \"protocol\": \"{}\",\n",
+        cell.cell_index,
+        esc(&cell.scenario),
+        esc(&cell.protocol)
+    );
+    let knobs: Vec<String> = cell
+        .knobs
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {}", esc(k), num(*v)))
+        .collect();
+    let _ = writeln!(out, "      \"knobs\": {{ {} }},", knobs.join(", "));
+    let _ = writeln!(
+        out,
+        "      \"runs\": {}, \"totals\": {{ \"arrivals\": {}, \"successes\": {}, \
+         \"active_slots\": {}, \"jammed_active\": {}, \"sends\": {}, \"listens\": {}, \
+         \"max_backlog\": {} }},",
+        s.runs,
+        s.arrivals,
+        s.successes,
+        s.active_slots,
+        s.jammed_active,
+        s.sends,
+        s.listens,
+        s.max_backlog
+    );
+    let _ = writeln!(
+        out,
+        "      \"throughput\": {},",
+        welford_json(&s.throughput)
+    );
+    let acc = s.accesses.summary();
+    let _ = writeln!(
+        out,
+        "      \"accesses\": {{ \"n\": {}, \"mean\": {}, \"sd\": {}, \"min\": {}, \"max\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {} }},",
+        acc.n,
+        num(acc.mean),
+        num(acc.sd),
+        num(acc.min),
+        num(acc.max),
+        num(s.access_sketch.quantile(0.5)),
+        num(s.access_sketch.quantile(0.9)),
+        num(s.access_sketch.quantile(0.99))
+    );
+    // Nonzero histogram rows as [lower_edge, count] pairs (the upper edge
+    // is the next row's lower edge; the tail bucket's is open).
+    let rows: Vec<String> = s
+        .access_hist
+        .buckets()
+        .filter(|(_, _, c)| *c > 0)
+        .map(|(lo, _, c)| format!("[{}, {}]", num(lo), c))
+        .collect();
+    let _ = writeln!(out, "      \"access_hist\": [{}],", rows.join(", "));
+    let metrics: Vec<String> = s
+        .metrics
+        .iter()
+        .map(|(name, w)| format!("\"{}\": {}", esc(name), welford_json(w)))
+        .collect();
+    let _ = write!(
+        out,
+        "      \"metrics\": {{ {} }}\n    }}",
+        metrics.join(", ")
+    );
+}
+
+impl CampaignResult {
+    /// Renders the schema-versioned JSON artifact (see the
+    /// [module docs](self) for the determinism contract).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.name));
+        let _ = writeln!(
+            out,
+            "  \"campaign_seed\": {}, \"replicates\": {},",
+            self.seed, self.replicates
+        );
+        let axis = |labels: &[String]| -> String {
+            labels
+                .iter()
+                .map(|l| format!("\"{}\"", esc(l)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "  \"scenarios\": [{}],", axis(&self.scenarios));
+        let _ = writeln!(out, "  \"protocols\": [{}],", axis(&self.protocols));
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            cell_json(cell, &mut out);
+            let _ = writeln!(out, "{}", if i + 1 == self.cells.len() { "" } else { "," });
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes [`to_json`](CampaignResult::to_json) to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Renders an aligned human-readable table: one row per cell with the
+    /// headline statistics.
+    pub fn render(&self) -> String {
+        let header = [
+            "scenario".to_string(),
+            "protocol".to_string(),
+            "runs".to_string(),
+            "thr.mean".to_string(),
+            "thr.se".to_string(),
+            "acc.mean".to_string(),
+            "acc.p50".to_string(),
+            "acc.p99".to_string(),
+            "acc.max".to_string(),
+        ];
+        let mut rows: Vec<[String; 9]> = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let s = &cell.stats;
+            let thr = s.throughput.summary();
+            let acc = s.accesses.summary();
+            rows.push([
+                cell.scenario.clone(),
+                cell.protocol.clone(),
+                s.runs.to_string(),
+                format!("{:.3}", thr.mean),
+                format!("{:.3}", thr.se),
+                format!("{:.1}", acc.mean),
+                format!("{:.0}", s.access_sketch.quantile(0.5)),
+                format!("{:.0}", s.access_sketch.quantile(0.99)),
+                format!("{:.0}", acc.max),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== campaign {} — seed {}, {} replicates/cell ==",
+            self.name, self.seed, self.replicates
+        );
+        let _ = writeln!(out, "{}", fmt_row(&header));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn num_formats_deterministically() {
+        assert_eq!(num(0.5), "0.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

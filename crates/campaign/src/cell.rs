@@ -1,0 +1,194 @@
+//! Per-cell streaming statistics: fold runs locally, merge once.
+//!
+//! A [`CellStats`] is the mergeable aggregate of any number of simulation
+//! runs of one campaign cell. Each shard folds the raw [`RunResult`] of a
+//! run into a compact accumulator ([`CellStats::of_run`], one pass, no raw
+//! per-packet data crosses threads); the driver then [`CellStats::merge`]s
+//! the per-replicate accumulators **in canonical replicate order**, so the
+//! final aggregate is bit-identical for any shard count (the integer
+//! fields merge exactly; the `Welford` moments merge in a fixed order —
+//! see `docs/ARCHITECTURE.md`, "Campaign layer").
+
+use std::collections::BTreeMap;
+
+use lowsense_sim::metrics::RunResult;
+use lowsense_stats::{LogHistogram, QuantileSketch, Welford};
+
+use crate::spec::MetricSpec;
+
+/// Base of the per-packet access histogram buckets.
+const HIST_BASE: f64 = 2.0;
+/// Geometric levels: covers access counts up to 2⁴⁰ before the open tail.
+const HIST_LEVELS: usize = 40;
+
+/// Mergeable aggregate of one campaign cell's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Runs folded in.
+    pub runs: u64,
+    /// Exact sums of the run totals (packets injected / delivered, slot
+    /// classes, channel accesses).
+    pub arrivals: u64,
+    /// Packets delivered.
+    pub successes: u64,
+    /// Active slots.
+    pub active_slots: u64,
+    /// Jammed active slots.
+    pub jammed_active: u64,
+    /// Transmissions.
+    pub sends: u64,
+    /// Pure listens.
+    pub listens: u64,
+    /// Largest backlog observed in any run.
+    pub max_backlog: u64,
+    /// Per-run throughput `(T+J)/S` distribution across replicates.
+    pub throughput: Welford,
+    /// Per-delivered-packet channel accesses, pooled over all replicates
+    /// (empty when the scenario records totals only).
+    pub accesses: Welford,
+    /// Quantile sketch of the same per-packet access counts.
+    pub access_sketch: QuantileSketch,
+    /// Log-spaced histogram of the same per-packet access counts.
+    pub access_hist: LogHistogram,
+    /// Custom per-run scalar metrics declared on the spec, by name.
+    pub metrics: BTreeMap<String, Welford>,
+}
+
+impl CellStats {
+    /// Folds one run into a fresh accumulator (single pass over the
+    /// result; `extractors` supply the campaign's custom scalar metrics).
+    pub fn of_run(result: &RunResult, extractors: &[MetricSpec]) -> Self {
+        let t = &result.totals;
+        let mut throughput = Welford::new();
+        throughput.push(t.throughput());
+        let mut accesses = Welford::new();
+        let mut access_sketch = QuantileSketch::new();
+        let mut access_hist = LogHistogram::new(HIST_BASE, HIST_LEVELS);
+        for count in result.access_counts() {
+            let x = count as f64;
+            accesses.push(x);
+            access_sketch.push(x);
+            access_hist.push(x);
+        }
+        let mut metrics = BTreeMap::new();
+        for spec in extractors {
+            let mut w = Welford::new();
+            w.push(spec.extract(result));
+            metrics.insert(spec.name().to_string(), w);
+        }
+        CellStats {
+            runs: 1,
+            arrivals: t.arrivals,
+            successes: t.successes,
+            active_slots: t.active_slots,
+            jammed_active: t.jammed_active,
+            sends: t.sends,
+            listens: t.listens,
+            max_backlog: t.max_backlog,
+            throughput,
+            accesses,
+            access_sketch,
+            access_hist,
+            metrics,
+        }
+    }
+
+    /// Folds another accumulator into this one, as if its runs had been
+    /// folded here. Integer fields combine exactly; the `Welford` moments
+    /// combine in call order (hence the executors' canonical merge order).
+    pub fn merge(&mut self, other: &CellStats) {
+        self.runs += other.runs;
+        self.arrivals += other.arrivals;
+        self.successes += other.successes;
+        self.active_slots += other.active_slots;
+        self.jammed_active += other.jammed_active;
+        self.sends += other.sends;
+        self.listens += other.listens;
+        self.max_backlog = self.max_backlog.max(other.max_backlog);
+        self.throughput.merge(&other.throughput);
+        self.accesses.merge(&other.accesses);
+        self.access_sketch.merge(&other.access_sketch);
+        self.access_hist.merge(&other.access_hist);
+        for (name, w) in &other.metrics {
+            self.metrics.entry(name.clone()).or_default().merge(w);
+        }
+    }
+
+    /// Mean jammed active slots per run.
+    pub fn jammed_mean(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.jammed_active as f64 / self.runs as f64
+        }
+    }
+
+    /// Custom metric accumulator by name, if declared on the spec.
+    pub fn metric(&self, name: &str) -> Option<&Welford> {
+        self.metrics.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowsense_sim::feedback::SlotOutcome;
+    use lowsense_sim::metrics::{Metrics, MetricsConfig, RunResult};
+
+    fn tiny_run(seed: u64, n: u64) -> RunResult {
+        // Hand-built result: n packets each delivered after `i + 1` sends.
+        let mut m = Metrics::new(MetricsConfig::default());
+        for i in 0..n {
+            let id = m.note_inject(0);
+            for _ in 0..=i {
+                m.note_send(id);
+            }
+            m.note_slot(i, &SlotOutcome::Success { id });
+            m.note_depart(id, i);
+        }
+        m.finish(seed)
+    }
+
+    #[test]
+    fn of_run_pools_access_counts() {
+        let s = CellStats::of_run(&tiny_run(1, 4), &[]);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.successes, 4);
+        assert_eq!(s.accesses.count(), 4);
+        assert!((s.accesses.mean() - 2.5).abs() < 1e-12, "1+2+3+4 / 4");
+        assert_eq!(s.accesses.max(), 4.0);
+        assert_eq!(s.access_sketch.count(), 4);
+        assert_eq!(s.access_hist.total(), 4);
+    }
+
+    #[test]
+    fn merge_equals_refolding() {
+        let a = CellStats::of_run(&tiny_run(1, 3), &[]);
+        let b = CellStats::of_run(&tiny_run(2, 5), &[]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.runs, 2);
+        assert_eq!(ab.successes, 8);
+        assert_eq!(ab.accesses.count(), 8);
+        assert_eq!(ab.throughput.count(), 2);
+        // Integer fields are symmetric.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.successes, ba.successes);
+        assert_eq!(ab.access_sketch, ba.access_sketch);
+        assert_eq!(ab.access_hist, ba.access_hist);
+    }
+
+    #[test]
+    fn custom_metrics_fold_by_name() {
+        let spec = vec![MetricSpec::new("double_arrivals", |r: &RunResult| {
+            2.0 * r.totals.arrivals as f64
+        })];
+        let mut s = CellStats::of_run(&tiny_run(1, 3), &spec);
+        s.merge(&CellStats::of_run(&tiny_run(2, 5), &spec));
+        let m = s.metric("double_arrivals").expect("declared metric");
+        assert_eq!(m.count(), 2);
+        assert!((m.mean() - 8.0).abs() < 1e-12, "(6 + 10) / 2");
+        assert!(s.metric("missing").is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! The declarative sweep description: scenarios × protocols × replicates.
+//!
+//! A [`CampaignSpec`] is the full-factorial grid of a **scenario axis**
+//! (type-erased [`DynScenario`]s, optionally annotated with numeric knobs
+//! like `n` or the jam budget) and a **protocol axis** (named closures
+//! that run a seeded scenario on some engine), replicated `replicates`
+//! times with seeds derived per `(cell, replicate)` by
+//! [`crate::seed::cell_seed`]. Cells are indexed scenario-major:
+//! `cell = scenario_idx · protocols + protocol_idx`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use lowsense_sim::metrics::RunResult;
+use lowsense_sim::scenario::DynScenario;
+
+/// One point on the scenario axis: a reusable run description plus the
+/// numeric knobs it was built from (so protocol runners and reports can
+/// read e.g. the batch size back without parsing the label).
+#[derive(Clone)]
+pub struct ScenarioPoint {
+    label: String,
+    scenario: DynScenario,
+    knobs: BTreeMap<String, f64>,
+}
+
+impl ScenarioPoint {
+    /// Wraps a scenario, labelling the point with the scenario's name.
+    pub fn new(scenario: DynScenario) -> Self {
+        ScenarioPoint {
+            label: scenario.name().to_string(),
+            scenario,
+            knobs: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the point's label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Annotates the point with a named numeric knob (builder-style).
+    pub fn knob(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.knobs.insert(name.into(), value);
+        self
+    }
+
+    /// The point's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The wrapped scenario.
+    pub fn scenario(&self) -> &DynScenario {
+        &self.scenario
+    }
+
+    /// The point's knob annotations.
+    pub fn knobs(&self) -> &BTreeMap<String, f64> {
+        &self.knobs
+    }
+}
+
+impl fmt::Debug for ScenarioPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioPoint")
+            .field("label", &self.label)
+            .field("knobs", &self.knobs)
+            .finish()
+    }
+}
+
+impl From<DynScenario> for ScenarioPoint {
+    fn from(scenario: DynScenario) -> Self {
+        ScenarioPoint::new(scenario)
+    }
+}
+
+/// One point on the protocol axis: a label plus the closure that runs a
+/// **seeded** scenario (the executor seeds it first) on whichever engine
+/// fits the protocol. The closure must be a pure function of the scenario
+/// and knobs — any hidden state would break run determinism.
+#[derive(Clone)]
+pub struct ProtocolSpec {
+    label: String,
+    #[allow(clippy::type_complexity)]
+    run: Arc<dyn Fn(&DynScenario, &BTreeMap<String, f64>) -> RunResult + Send + Sync>,
+}
+
+impl ProtocolSpec {
+    /// Creates a protocol axis entry.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl Fn(&DynScenario, &BTreeMap<String, f64>) -> RunResult + Send + Sync + 'static,
+    ) -> Self {
+        ProtocolSpec {
+            label: label.into(),
+            run: Arc::new(run),
+        }
+    }
+
+    /// The entry's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Runs the (already seeded) scenario.
+    pub fn run(&self, scenario: &DynScenario, knobs: &BTreeMap<String, f64>) -> RunResult {
+        (self.run)(scenario, knobs)
+    }
+}
+
+impl fmt::Debug for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolSpec")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// A named scalar extracted from every run and folded into a per-cell
+/// `Welford` accumulator (e.g. "the target packet's access count").
+#[derive(Clone)]
+pub struct MetricSpec {
+    name: String,
+    extract: Arc<dyn Fn(&RunResult) -> f64 + Send + Sync>,
+}
+
+impl MetricSpec {
+    /// Creates a custom metric.
+    pub fn new(
+        name: impl Into<String>,
+        extract: impl Fn(&RunResult) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        MetricSpec {
+            name: name.into(),
+            extract: Arc::new(extract),
+        }
+    }
+
+    /// The metric's name (its key in [`crate::CellStats::metrics`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Extracts the scalar from one run.
+    pub fn extract(&self, result: &RunResult) -> f64 {
+        (self.extract)(result)
+    }
+}
+
+impl fmt::Debug for MetricSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricSpec")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// A declarative sweep: the grid, the seeds, and the metrics to keep.
+///
+/// Build one with the fluent methods, then execute it with
+/// [`run`](CampaignSpec::run) (sharded, all cores),
+/// [`run_sharded`](CampaignSpec::run_sharded) (explicit shard count), or
+/// [`run_serial`](CampaignSpec::run_serial) (the single-threaded reference
+/// executor) — all three produce **identical** results by construction.
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    pub(crate) name: String,
+    pub(crate) seed: u64,
+    pub(crate) replicates: u32,
+    pub(crate) scenarios: Vec<ScenarioPoint>,
+    pub(crate) protocols: Vec<ProtocolSpec>,
+    pub(crate) metrics: Vec<MetricSpec>,
+}
+
+impl CampaignSpec {
+    /// Starts a campaign description: seed 0, one replicate, empty axes.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            seed: 0,
+            replicates: 1,
+            scenarios: Vec::new(),
+            protocols: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The campaign's name (used in the artifact and its file name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the campaign seed every run seed derives from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of replicate runs per cell (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicates` is 0.
+    pub fn replicates(mut self, replicates: u32) -> Self {
+        assert!(replicates >= 1, "a cell needs at least one replicate");
+        self.replicates = replicates;
+        self
+    }
+
+    /// Appends one scenario axis point.
+    pub fn scenario(mut self, point: impl Into<ScenarioPoint>) -> Self {
+        self.scenarios.push(point.into());
+        self
+    }
+
+    /// Appends many scenario axis points.
+    pub fn scenarios<P: Into<ScenarioPoint>>(
+        mut self,
+        points: impl IntoIterator<Item = P>,
+    ) -> Self {
+        self.scenarios.extend(points.into_iter().map(Into::into));
+        self
+    }
+
+    /// Appends one protocol axis entry (label + runner closure).
+    pub fn protocol(
+        self,
+        label: impl Into<String>,
+        run: impl Fn(&DynScenario, &BTreeMap<String, f64>) -> RunResult + Send + Sync + 'static,
+    ) -> Self {
+        self.protocol_spec(ProtocolSpec::new(label, run))
+    }
+
+    /// Appends a prebuilt protocol axis entry.
+    pub fn protocol_spec(mut self, spec: ProtocolSpec) -> Self {
+        self.protocols.push(spec);
+        self
+    }
+
+    /// Declares a custom per-run scalar metric.
+    pub fn metric(
+        mut self,
+        name: impl Into<String>,
+        extract: impl Fn(&RunResult) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        self.metrics.push(MetricSpec::new(name, extract));
+        self
+    }
+
+    /// Number of grid cells (scenario axis × protocol axis).
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.protocols.len()
+    }
+
+    /// Number of simulation runs the campaign will execute.
+    pub fn unit_count(&self) -> usize {
+        self.cell_count() * self.replicates as usize
+    }
+
+    /// The scenario-major cell index of `(scenario_idx, protocol_idx)`.
+    pub fn cell_index(&self, scenario_idx: usize, protocol_idx: usize) -> usize {
+        debug_assert!(scenario_idx < self.scenarios.len());
+        debug_assert!(protocol_idx < self.protocols.len());
+        scenario_idx * self.protocols.len() + protocol_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowsense_sim::scenario::scenarios;
+
+    #[test]
+    fn builder_accumulates_axes() {
+        let spec = CampaignSpec::new("demo")
+            .seed(7)
+            .replicates(3)
+            .scenario(scenarios::batch_drain(8).boxed())
+            .scenario(ScenarioPoint::new(scenarios::batch_drain(16).boxed()).knob("n", 16.0))
+            .protocol("noop", |sc, _| sc.run_sparse(|_| TestProto))
+            .protocol("noop2", |sc, _| sc.run_sparse(|_| TestProto));
+        assert_eq!(spec.cell_count(), 4);
+        assert_eq!(spec.unit_count(), 12);
+        assert_eq!(spec.cell_index(1, 1), 3);
+        assert_eq!(spec.scenarios[1].knobs()["n"], 16.0);
+        assert_eq!(spec.scenarios[0].label(), "batch-drain(n=8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_rejected() {
+        let _ = CampaignSpec::new("bad").replicates(0);
+    }
+
+    #[derive(Clone)]
+    struct TestProto;
+    use lowsense_sim::dist::geometric;
+    use lowsense_sim::feedback::{Intent, Observation};
+    use lowsense_sim::protocol::{Protocol, SparseProtocol};
+    use lowsense_sim::rng::SimRng;
+
+    impl Protocol for TestProto {
+        fn intent(&mut self, rng: &mut SimRng) -> Intent {
+            if rng.bernoulli(0.5) {
+                Intent::Send
+            } else {
+                Intent::Sleep
+            }
+        }
+        fn observe(&mut self, _obs: &Observation) {}
+        fn send_probability(&self) -> f64 {
+            0.5
+        }
+        fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+            Some(geometric(rng, 0.5))
+        }
+    }
+    impl SparseProtocol for TestProto {
+        fn send_on_access(&mut self, _rng: &mut SimRng) -> bool {
+            true
+        }
+    }
+}

@@ -20,7 +20,6 @@ use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
 
 use crate::params::Params;
-use crate::window;
 
 /// Per-packet state of `LOW-SENSING BACKOFF`.
 ///
@@ -35,18 +34,27 @@ use crate::window;
 /// // Fresh packets send with probability exactly 1/w_min.
 /// assert!((p.send_probability() - 0.25).abs() < 1e-12);
 /// ```
-// 64-byte alignment pads the 7-f64 state to exactly one cache line, so the
-// event-driven engines' scattered per-listener table accesses touch one
-// line instead of straddling two ~75% of the time.
+// The 8-f64 state is exactly one 64-byte cache line, so the event-driven
+// engines' scattered per-listener table accesses touch one line instead of
+// straddling two ~75% of the time.
+//
+// Everything derived from the window is kept in **reciprocal form**,
+// refreshed only when the window changes, so the per-observation hot path
+// is divide-free: the window update multiplies against the cached
+// `back_off_factor`/`back_on_factor` pair (the old path recomputed
+// `1 + 1/(c·ln w)` and divided by it on every silent slot, clamped or
+// not), and the recompute itself funnels through one reciprocal
+// `x = 1/(c·ln w)` from which the send probability is pure multiplies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(align(64))]
 pub struct LowSensing {
     params: Params,
     w: f64,
-    // Cached `ln w`, so the window update (which needs the logarithm of the
-    // *current* window) costs no transcendental call — `observe` computes
-    // exactly one `ln`, for the new window.
-    ln_w: f64,
+    // Cached update factor `1 + 1/(c·ln w)` of the *current* window, and
+    // its reciprocal: back-off is `w · back_off_factor`, back-on is
+    // `max(w · back_on_factor, w_min)` — no divide, no `ln`.
+    back_off_factor: f64,
+    back_on_factor: f64,
     // Cached per-slot probabilities; recomputed only on window changes.
     p_listen: f64,
     p_send_given_listen: f64,
@@ -70,7 +78,8 @@ impl LowSensing {
         let mut p = LowSensing {
             params,
             w,
-            ln_w: 0.0,
+            back_off_factor: 0.0,
+            back_on_factor: 0.0,
             p_listen: 0.0,
             p_send_given_listen: 0.0,
             inv_ln_q_listen: 0.0,
@@ -79,10 +88,20 @@ impl LowSensing {
         p
     }
 
+    // Refreshes every window-derived cache. One `fast_ln` plus four
+    // divides (`x`, the back-on reciprocal, the listen probability's `/w`,
+    // and `1/ln q` — itself a reciprocal cache); everything else is
+    // multiplies against `x = 1/(c·ln w)`:
+    // `p_send|listen = 1/(c·ln³ w) = x³·c²` exactly in real arithmetic.
+    // `observe4` mirrors this per lane bit for bit.
     fn recompute(&mut self) {
-        self.ln_w = fast_ln(self.w);
-        self.p_listen = self.params.listen_probability_ln(self.w, self.ln_w);
-        self.p_send_given_listen = self.params.send_probability_given_listen_ln(self.ln_w);
+        let ln_w = fast_ln(self.w);
+        let c = self.params.c();
+        let x = 1.0 / (c * ln_w);
+        self.back_off_factor = 1.0 + x;
+        self.back_on_factor = 1.0 / self.back_off_factor;
+        self.p_listen = self.params.listen_probability_ln(self.w, ln_w);
+        self.p_send_given_listen = (x * x * x * (c * c)).min(1.0);
         self.inv_ln_q_listen = if self.p_listen <= 0.0 || self.p_listen >= 1.0 {
             // Degenerate: `next_wake` short-circuits before using this.
             0.0
@@ -128,9 +147,13 @@ impl Protocol for LowSensing {
 
     #[inline]
     fn observe(&mut self, obs: &Observation) {
+        // Divide-free window update: multiply against the cached factor /
+        // reciprocal pair (`window::back_{on,off}` up to the reciprocal's
+        // rounding, which shifts individual trajectories by ulps but not
+        // the distributions the analysis is about).
         let new_w = match obs.feedback {
-            Feedback::Empty => window::back_on_ln(&self.params, self.w, self.ln_w),
-            Feedback::Noisy => window::back_off_ln(&self.params, self.w, self.ln_w),
+            Feedback::Empty => (self.w * self.back_on_factor).max(self.params.w_min()),
+            Feedback::Noisy => self.w * self.back_off_factor,
             // Someone else's success: no update (Figure 1 has rules only for
             // silent and noisy slots). Our own success departs us anyway.
             Feedback::Success => return,
@@ -192,18 +215,19 @@ impl SparseProtocol for LowSensing {
         // `&mut` lanes, every store would pessimistically invalidate the
         // other lanes' loads).
         let mut lane = [*states[0], *states[1], *states[2], *states[3]];
-        // Window updates are pure arithmetic on the cached `ln w`; each
-        // lane evaluates exactly `window::back_{on,off}_ln`.
+        // Divide-free window updates: each lane multiplies against its
+        // cached factor / reciprocal pair, exactly like the scalar
+        // `observe`.
         let mut new_w = [0.0f64; 4];
         match obs.feedback {
             Feedback::Empty => {
                 for i in 0..4 {
-                    new_w[i] = window::back_on_ln(&lane[i].params, lane[i].w, lane[i].ln_w);
+                    new_w[i] = (lane[i].w * lane[i].back_on_factor).max(lane[i].params.w_min());
                 }
             }
             Feedback::Noisy => {
                 for i in 0..4 {
-                    new_w[i] = window::back_off_ln(&lane[i].params, lane[i].w, lane[i].ln_w);
+                    new_w[i] = lane[i].w * lane[i].back_off_factor;
                 }
             }
             Feedback::Success => unreachable!("handled above"),
@@ -224,18 +248,27 @@ impl SparseProtocol for LowSensing {
         // path skips its recompute); its slot in `new_w` is the old
         // window, a valid input whose result is simply discarded.
         let ln_w4 = fast_ln4(new_w);
-        // Derived probabilities for every lane unconditionally (again so
-        // the lanes pack); unchanged lanes discard them below.
+        // The reciprocal-form recompute for every lane unconditionally (so
+        // the lanes pack — the divides vectorize to `divpd`); unchanged
+        // lanes discard the results below. Per-lane arithmetic is the
+        // scalar `recompute`'s bit for bit.
+        let mut factor = [0.0f64; 4];
+        let mut inv_factor = [0.0f64; 4];
         let mut p_listen = [0.0f64; 4];
         let mut p_send = [0.0f64; 4];
         for i in 0..4 {
+            let c = lane[i].params.c();
+            let x = 1.0 / (c * ln_w4[i]);
+            factor[i] = 1.0 + x;
+            inv_factor[i] = 1.0 / factor[i];
             p_listen[i] = lane[i].params.listen_probability_ln(new_w[i], ln_w4[i]);
-            p_send[i] = lane[i].params.send_probability_given_listen_ln(ln_w4[i]);
+            p_send[i] = (x * x * x * (c * c)).min(1.0);
         }
         for i in 0..4 {
             if changed[i] {
                 lane[i].w = new_w[i];
-                lane[i].ln_w = ln_w4[i];
+                lane[i].back_off_factor = factor[i];
+                lane[i].back_on_factor = inv_factor[i];
                 lane[i].p_listen = p_listen[i];
                 lane[i].p_send_given_listen = p_send[i];
             }

@@ -1,0 +1,68 @@
+//! `campaign` — run a canonical campaign sweep and emit its artifact.
+//!
+//! ```text
+//! campaign faceoff                          # tiny face-off, all cores
+//! campaign faceoff --shards 4               # explicit shard count
+//! campaign faceoff --full                   # the T2-scale grid
+//! campaign faceoff --seed 7 --out F.json    # artifact path (default
+//!                                           # CAMPAIGN_<name>.json)
+//! ```
+//!
+//! The artifact bytes are a pure function of `(campaign, scale, seed)` —
+//! **not** of `--shards` — which the CI canary enforces by running the
+//! tiny face-off at 1 and 4 shards and failing on any byte difference.
+
+use lowsense_experiments::campaigns;
+use lowsense_experiments::common::pow2_sweep;
+
+fn usage() -> ! {
+    eprintln!("usage: campaign <faceoff> [--shards N] [--seed S] [--out FILE] [--full]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut out: Option<String> = None;
+    let mut full = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => shards = Some(parse(it.next())),
+            "--seed" => seed = parse(it.next()),
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--full" => full = true,
+            "faceoff" if name.is_none() => name = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(_name) = name else { usage() };
+
+    let spec = if full {
+        campaigns::faceoff_spec(&pow2_sweep(6, 15), 12, seed)
+    } else {
+        campaigns::faceoff_small_spec(seed)
+    };
+    let shards = shards.unwrap_or_else(lowsense_campaign::pool::default_shards);
+    eprintln!(
+        "campaign {}: {} cells × {} replicates on {} shard(s), seed {}",
+        spec.name(),
+        spec.cell_count(),
+        spec.unit_count() / spec.cell_count().max(1),
+        shards,
+        seed
+    );
+    let result = spec.run_sharded(shards);
+    print!("{}", result.render());
+    let path = out.unwrap_or_else(|| format!("CAMPAIGN_{}.json", result.name));
+    result.write_json(&path).expect("write campaign artifact");
+    eprintln!("campaign: wrote {path}");
+}

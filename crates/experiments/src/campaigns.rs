@@ -1,0 +1,84 @@
+//! Canonical campaign definitions shared by experiments, the `campaign`
+//! binary, the perf smoke bench, and the CI determinism canary.
+//!
+//! The protocol face-off is *the* showcase sweep: every contending
+//! protocol over the same batch-drain scenario axis, paired seeds, one
+//! mergeable statistics pass — replacing the bespoke
+//! `monte_carlo`-per-protocol loops T2 used to hand-roll.
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::{
+    CjpConfig, CjpMwu, PolynomialBackoff, ProbBeb, SlottedAloha, WindowedBeb,
+};
+use lowsense_campaign::{CampaignSpec, ScenarioPoint};
+use lowsense_sim::scenario::scenarios;
+
+/// The face-off campaign: every baseline protocol × batch sizes `ns` ×
+/// `replicates` seeded runs. Scenarios record totals only (throughput is
+/// the face-off's metric), so cells stay cheap at large `n`.
+///
+/// Protocol labels, in axis order: `low-sensing`, `beb-window`,
+/// `beb-prob`, `poly(k=2)`, `aloha-genie`, `cjp-mwu`.
+pub fn faceoff_spec(ns: &[u64], replicates: u32, seed: u64) -> CampaignSpec {
+    CampaignSpec::new("faceoff")
+        .seed(seed)
+        .replicates(replicates)
+        .scenarios(ns.iter().map(|&n| {
+            ScenarioPoint::new(scenarios::protocol_faceoff(n).totals_only().boxed())
+                .knob("n", n as f64)
+        }))
+        .protocol("low-sensing", |sc, _| {
+            sc.run_sparse(|_| LowSensing::new(Params::default()))
+        })
+        .protocol("beb-window", |sc, _| {
+            sc.run_sparse(|rng| WindowedBeb::new(2, 40, rng))
+        })
+        .protocol("beb-prob", |sc, _| sc.run_sparse(|_| ProbBeb::new(0.5)))
+        .protocol("poly(k=2)", |sc, _| {
+            sc.run_sparse(|rng| PolynomialBackoff::new(2, 2, rng))
+        })
+        .protocol("aloha-genie", |sc, knobs| {
+            // The genie knows the batch size — read it off the knob axis.
+            let n = knobs["n"] as u64;
+            sc.run_sparse(move |_| SlottedAloha::genie(n))
+        })
+        .protocol("cjp-mwu", |sc, _| {
+            sc.run_grouped(|_| CjpMwu::new(CjpConfig::default()))
+        })
+}
+
+/// The tiny face-off instance the CI canary and the perf smoke bench run:
+/// small batches, 2 replicates — a few hundred milliseconds of work whose
+/// artifact must be byte-identical for every shard count.
+pub fn faceoff_small_spec(seed: u64) -> CampaignSpec {
+    faceoff_spec(&[64, 128], 2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_faceoff_grid_shape() {
+        let spec = faceoff_small_spec(3);
+        assert_eq!(spec.cell_count(), 12, "2 scenarios × 6 protocols");
+        assert_eq!(spec.unit_count(), 24);
+    }
+
+    #[test]
+    fn genie_reads_the_batch_knob() {
+        let r = faceoff_small_spec(5).run_sharded(2);
+        // Every protocol drains the batch on every cell.
+        for cell in &r.cells {
+            assert_eq!(
+                cell.stats.successes, cell.stats.arrivals,
+                "{} / {} did not drain",
+                cell.scenario, cell.protocol
+            );
+        }
+        // LSB beats windowed BEB on overall throughput at n=128.
+        let lsb = r.cell(1, 0).stats.throughput.mean();
+        let beb = r.cell(1, 1).stats.throughput.mean();
+        assert!(lsb > beb * 0.8, "lsb {lsb} vs beb {beb}");
+    }
+}

@@ -5,17 +5,49 @@
 //! batch size `N` with and without random jamming, report the per-packet
 //! access distribution (mean/p50/p99/max), the ratio to the `ln⁴(N+J)`
 //! bound, and fit the growth shape of the mean and the max.
+//!
+//! Ported onto the campaign layer: the `(N, jam)` grid is the scenario
+//! axis of one [`CampaignSpec`] (protocol axis: `LOW-SENSING BACKOFF`),
+//! and the digest columns come from the mergeable per-cell accumulators —
+//! mean/max from the pooled Welford, p50/p99 from the quantile sketch.
 
 use lowsense::theory;
+use lowsense::{LowSensing, Params};
+use lowsense_campaign::{CampaignSpec, ScenarioPoint};
 use lowsense_sim::scenario::scenarios;
 
-use crate::common::{mean, pow2_sweep, run_lsb, EnergyDigest};
-use crate::runner::{monte_carlo, Scale};
+use crate::common::pow2_sweep;
+use crate::runner::Scale;
 use crate::table::{Cell, Table};
+
+/// The campaign seed T4 sweeps under.
+const T4_SEED: u64 = 0x7_4;
+
+/// The `(N, jam)` energy-sweep campaign (shared with the repro binary).
+pub fn energy_spec(ns: &[u64], replicates: u32, seed: u64) -> CampaignSpec {
+    CampaignSpec::new("energy-finite")
+        .seed(seed)
+        .replicates(replicates)
+        .scenarios(ns.iter().flat_map(|&n| {
+            [
+                ScenarioPoint::new(scenarios::batch_drain(n).boxed())
+                    .knob("n", n as f64)
+                    .knob("rho", 0.0),
+                ScenarioPoint::new(scenarios::random_jam_batch(n, 0.1).boxed())
+                    .knob("n", n as f64)
+                    .knob("rho", 0.1),
+            ]
+        }))
+        .protocol("low-sensing", |sc, _| {
+            sc.run_sparse(|_| LowSensing::new(Params::default()))
+        })
+}
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
     let ns = pow2_sweep(6, scale.pick(11, 16));
+    let result = energy_spec(&ns, scale.seeds() as u32, T4_SEED).run();
+
     let mut table = Table::new(
         "T4",
         "per-packet channel accesses, finite streams (adaptive adversary)",
@@ -34,33 +66,30 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut xs = Vec::new();
     let mut means = Vec::new();
     let mut maxes = Vec::new();
-    for &n in &ns {
-        for jam in [false, true] {
-            let results = monte_carlo(40_000 + n + jam as u64, scale.seeds(), |seed| {
-                if jam {
-                    run_lsb(&scenarios::random_jam_batch(n, 0.1).seed(seed))
-                } else {
-                    run_lsb(&scenarios::batch_drain(n).seed(seed))
-                }
-            });
-            let j_mean = mean(results.iter().map(|r| r.totals.jammed_active as f64));
-            let digest =
-                EnergyDigest::pool(&results.iter().map(EnergyDigest::of).collect::<Vec<_>>());
+    for (i, &n) in ns.iter().enumerate() {
+        for (j, jam) in [false, true].into_iter().enumerate() {
+            let stats = &result.cell(2 * i + j, 0).stats;
+            let j_mean = stats.jammed_mean();
+            let acc = stats.accesses.summary();
+            let (p50, p99) = (
+                stats.access_sketch.quantile(0.5),
+                stats.access_sketch.quantile(0.99),
+            );
             let bound = theory::energy_bound_finite(n, j_mean as u64);
             if !jam {
                 xs.push(n as f64);
-                means.push(digest.mean);
-                maxes.push(digest.max);
+                means.push(acc.mean);
+                maxes.push(acc.max);
             }
             table.row(vec![
                 Cell::UInt(n),
                 Cell::text(if jam { "ρ=0.1" } else { "none" }),
                 Cell::Float(j_mean, 0),
-                Cell::Float(digest.mean, 1),
-                Cell::Float(digest.p50, 0),
-                Cell::Float(digest.p99, 0),
-                Cell::Float(digest.max, 0),
-                Cell::Float(digest.max / bound, 3),
+                Cell::Float(acc.mean, 1),
+                Cell::Float(p50, 0),
+                Cell::Float(p99, 0),
+                Cell::Float(acc.max, 0),
+                Cell::Float(acc.max / bound, 3),
             ]);
         }
     }
@@ -77,6 +106,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     table.note(
         "max/ln⁴(N+J) is flat-to-decreasing across the sweep, i.e. the paper's bound \
          envelope holds with a constant below 1",
+    );
+    table.note(
+        "digest source: campaign cell accumulators (pooled Welford mean/max; sketch p50/p99, \
+         relative error < 0.4%)",
     );
     vec![table]
 }

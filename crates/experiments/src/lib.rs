@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaigns;
 pub mod common;
 pub mod exp;
 pub mod runner;

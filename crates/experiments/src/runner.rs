@@ -1,6 +1,10 @@
 //! Parallel Monte Carlo execution.
-
-use crossbeam::channel;
+//!
+//! Since the campaign layer landed, the workspace has exactly **one**
+//! parallel executor: [`lowsense_campaign::pool`]. `parallel_map` here is
+//! a thin re-export-style wrapper over it, kept because the ad-hoc
+//! experiments (sweep points × seeds outside a full campaign grid) still
+//! want the bare map-over-jobs shape.
 
 /// Experiment scale: `Quick` for benches and smoke runs, `Full` for the
 /// `repro` binary's paper-scale sweeps.
@@ -32,55 +36,21 @@ impl Scale {
 
 /// Maps `f` over `items` on all available cores, preserving order.
 ///
-/// Each job is independent (Monte Carlo over seeds/sweep points); results
-/// are collected through a crossbeam channel.
+/// This is [`lowsense_campaign::shard_map`] — the campaign shard pool.
+/// Its contract (inherited from the pool, with regression tests below):
+///
+/// * an empty input returns an empty output without spawning threads;
+/// * fewer items than cores clamps the pool to one shard per item;
+/// * a panicking job does **not** poison the batch — the other jobs still
+///   run, and the lowest-indexed panic is re-raised with its original
+///   payload.
 pub fn parallel_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        job_tx.send(pair).expect("job channel open");
-    }
-    drop(job_tx);
-
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            s.spawn(move || {
-                while let Ok((idx, item)) = job_rx.recv() {
-                    let r = f(item);
-                    if res_tx.send((idx, r)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok((idx, r)) = res_rx.recv() {
-            out[idx] = Some(r);
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
+    lowsense_campaign::shard_map(items, f)
 }
 
 /// Runs `f(seed)` for `seeds` deterministic seeds derived from `base`, in
@@ -100,6 +70,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -112,6 +83,38 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_fewer_items_than_threads() {
+        // A 2-job batch must not deadlock or drop jobs on a many-core box
+        // (regression: the pool clamps shards to the item count).
+        let out = parallel_map(vec![7u64, 9], |x| x + 1);
+        assert_eq!(out, vec![8, 10]);
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(vec![3u64], |x| x * x), vec![9]);
+    }
+
+    #[test]
+    fn parallel_map_panic_does_not_poison_the_batch() {
+        // Regression: a worker panic used to surface as the generic
+        // "a scoped thread panicked" (payload lost) before any result was
+        // readable. Now every other job completes and the original panic
+        // payload is re-raised deterministically.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..40u64).collect(), |x| {
+                if x == 11 {
+                    panic!("seed {x} exploded");
+                }
+                x
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("original payload");
+        assert_eq!(msg, "seed 11 exploded");
     }
 
     #[test]

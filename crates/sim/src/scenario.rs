@@ -262,11 +262,14 @@ where
 
 impl<A, J> Scenario<A, J>
 where
-    A: ArrivalProcess + Clone + Send + 'static,
-    J: Jammer + Clone + Send + 'static,
+    A: ArrivalProcess + Clone + Send + Sync + 'static,
+    J: Jammer + Clone + Send + Sync + 'static,
 {
     /// Erases the arrival/jammer types so scenarios with different
     /// adversaries can live in one collection (see [`DynScenario`]).
+    ///
+    /// The erased scenario stays `Send + Sync`, so campaign sweeps can
+    /// share one description across shard threads.
     pub fn boxed(self) -> DynScenario {
         Scenario {
             name: self.name,
@@ -283,11 +286,11 @@ where
 /// scenario sets (the [`scenarios::registry`]) can be iterated uniformly.
 pub type DynScenario = Scenario<BoxedArrivals, BoxedJammer>;
 
-trait AnyArrivals: ArrivalProcess + Send {
+trait AnyArrivals: ArrivalProcess + Send + Sync {
     fn clone_box(&self) -> Box<dyn AnyArrivals>;
 }
 
-impl<T: ArrivalProcess + Clone + Send + 'static> AnyArrivals for T {
+impl<T: ArrivalProcess + Clone + Send + Sync + 'static> AnyArrivals for T {
     fn clone_box(&self) -> Box<dyn AnyArrivals> {
         Box::new(self.clone())
     }
@@ -327,11 +330,11 @@ impl ArrivalProcess for BoxedArrivals {
     }
 }
 
-trait AnyJammer: Jammer + Send {
+trait AnyJammer: Jammer + Send + Sync {
     fn clone_box(&self) -> Box<dyn AnyJammer>;
 }
 
-impl<T: Jammer + Clone + Send + 'static> AnyJammer for T {
+impl<T: Jammer + Clone + Send + Sync + 'static> AnyJammer for T {
     fn clone_box(&self) -> Box<dyn AnyJammer> {
         Box::new(self.clone())
     }

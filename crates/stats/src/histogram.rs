@@ -47,6 +47,27 @@ impl LogHistogram {
         self.total += 1;
     }
 
+    /// Folds another histogram into this one by adding bucket counts.
+    ///
+    /// Counts are integers, so merging is *exactly* associative and
+    /// commutative and equals single-pass accumulation bit for bit — the
+    /// property the campaign layer's shard-local folding relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different edges
+    /// (different `base`/`levels`).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "merging histograms with different bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.total
@@ -112,6 +133,31 @@ mod tests {
         }
         assert!((h.tail_fraction(8.0) - 0.25).abs() < 1e-12);
         assert!((h.tail_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass_exactly() {
+        let xs = [0.0, 0.5, 1.0, 3.0, 7.9, 8.0, 100.0, 2.0, 4.0];
+        let mut whole = LogHistogram::new(2.0, 3);
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (LogHistogram::new(2.0, 3), LogHistogram::new(2.0, 3));
+        for &x in &xs[..4] {
+            a.push(x);
+        }
+        for &x in &xs[4..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket edges")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = LogHistogram::new(2.0, 3);
+        a.merge(&LogHistogram::new(2.0, 4));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Dependency-free statistics used by the experiment harness: summaries,
 //! quantiles, OLS regression, growth-shape fits (power / polylog exponents)
 //! for validating the paper's asymptotic claims, bootstrap confidence
-//! intervals, and log-spaced histograms.
+//! intervals, and log-spaced histograms. The streaming accumulators
+//! ([`Welford`], [`LogHistogram`], [`QuantileSketch`]) are **mergeable** —
+//! each has a `merge` that combines partial aggregates — which is what the
+//! campaign layer's sharded sweeps fold with.
 //!
 //! ```
 //! use lowsense_stats::{fit, Summary};
@@ -23,6 +26,7 @@ pub mod fit;
 pub mod histogram;
 pub mod quantile;
 pub mod regression;
+pub mod sketch;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_mean_ci, Interval};
@@ -30,4 +34,5 @@ pub use fit::{classify_growth, polylog_exponent, power_exponent, Growth};
 pub use histogram::LogHistogram;
 pub use quantile::{median, quantile, quantile_sorted, tail_summary};
 pub use regression::{ols, Fit};
+pub use sketch::QuantileSketch;
 pub use summary::{Summary, Welford};

@@ -1,0 +1,298 @@
+//! A mergeable streaming quantile sketch with bounded relative error.
+//!
+//! [`QuantileSketch`] buckets non-negative `f64`s by exponent plus the top
+//! few mantissa bits (the HdrHistogram / DDSketch log-linear layout): every
+//! observation lands in a bucket whose edges are `2^-b` apart in relative
+//! terms, so any quantile estimate is within relative error `2^-(b+1)` of a
+//! true sample value. Bucket counts are integers, which makes
+//! [`QuantileSketch::merge`] **exactly** associative and commutative and
+//! bit-identical to single-pass accumulation — the property that lets
+//! campaign shards fold locally and the driver combine partial sketches in
+//! any grouping without changing the result.
+//!
+//! Contrast with [`quantile()`](crate::quantile::quantile), which stores
+//! the whole sample for exact answers: the sketch is `O(buckets)` memory
+//! regardless of stream length, at the price of the (deterministic,
+//! bounded) bucketing error.
+//!
+//! ```
+//! use lowsense_stats::QuantileSketch;
+//!
+//! let mut a = QuantileSketch::new();
+//! let mut b = QuantileSketch::new();
+//! for x in 1..=600u64 {
+//!     if x % 2 == 0 { a.push(x as f64) } else { b.push(x as f64) }
+//! }
+//! a.merge(&b);
+//! let p50 = a.quantile(0.5);
+//! assert!((p50 - 300.0).abs() / 300.0 < 0.01);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Default mantissa bits per octave: 128 sub-buckets per power of two,
+/// i.e. relative error below `2^-8 ≈ 0.4%`.
+pub const DEFAULT_PRECISION_BITS: u32 = 7;
+
+/// A mergeable quantile sketch over non-negative finite `f64`s.
+///
+/// See the [module docs](self) for the guarantees and an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    bits: u32,
+    /// Sparse bucket counts keyed by the value's top `11 + bits` float
+    /// bits; `BTreeMap` so iteration is in ascending value order.
+    counts: BTreeMap<u32, u64>,
+    /// Exact zeros (including `-0.0`, normalized on entry).
+    zeros: u64,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch at the default precision
+    /// ([`DEFAULT_PRECISION_BITS`]).
+    pub fn new() -> Self {
+        QuantileSketch::with_precision(DEFAULT_PRECISION_BITS)
+    }
+
+    /// An empty sketch keeping the top `bits` mantissa bits per bucket
+    /// (relative error `≤ 2^-(bits+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`.
+    pub fn with_precision(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "precision bits out of [1,16]");
+        QuantileSketch {
+            bits,
+            counts: BTreeMap::new(),
+            zeros: 0,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative, NaN, or infinite.
+    pub fn push(&mut self, x: f64) {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "sketch values must be non-negative and finite (got {x})"
+        );
+        // Normalize -0.0 so min/max and the zero bucket are sign-blind.
+        let x = if x == 0.0 { 0.0 } else { x };
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.counts.entry(self.bucket(x)).or_insert(0) += 1;
+        }
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Folds another sketch into this one. Exactly associative and
+    /// commutative (integer bucket counts; see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were built with different precisions.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.bits, other.bits,
+            "merging sketches of different precision"
+        );
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`); 0 for an empty sketch.
+    ///
+    /// The returned value is the midpoint of the bucket holding the
+    /// rank-`⌈q·n⌉` observation, clamped into `[min, max]` — so it is
+    /// within relative error `2^-(bits+1)` of a true sample order
+    /// statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q {q} out of [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Rank of the order statistic to report, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // The extreme order statistics are tracked exactly.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.total {
+            return self.max;
+        }
+        if rank <= self.zeros {
+            return 0.0;
+        }
+        let mut cum = self.zeros;
+        for (&k, &c) in &self.counts {
+            cum += c;
+            if cum >= rank {
+                return self.representative(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The bucket key of a positive finite `x`: its sign-less top
+    /// `11 + bits` IEEE-754 bits, which order exactly as the values do.
+    fn bucket(&self, x: f64) -> u32 {
+        debug_assert!(x > 0.0);
+        (x.to_bits() >> (52 - self.bits)) as u32
+    }
+
+    /// Midpoint of the bucket `k` covers (deterministic; the value every
+    /// observation in the bucket is reported as).
+    fn representative(&self, k: u32) -> f64 {
+        let lo = f64::from_bits((k as u64) << (52 - self.bits));
+        let hi = f64::from_bits(((k as u64) + 1) << (52 - self.bits));
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_relative_error() {
+        let mut s = QuantileSketch::new();
+        let xs: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        for &x in &xs {
+            s.push(x);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let exact = crate::quantile(&xs, q);
+            let est = s.quantile(q);
+            assert!(
+                (est - exact).abs() <= exact * 0.005 + 1.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10_000.0);
+    }
+
+    #[test]
+    fn merge_is_bitwise_equal_to_single_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 211) as f64 * 0.5).collect();
+        let mut whole = QuantileSketch::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (QuantileSketch::new(), QuantileSketch::new());
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal single-pass accumulation");
+    }
+
+    #[test]
+    fn zeros_and_negative_zero() {
+        let mut s = QuantileSketch::new();
+        s.push(0.0);
+        s.push(-0.0);
+        s.push(4.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert!(s.quantile(1.0) > 3.9);
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_observed_range() {
+        let mut s = QuantileSketch::new();
+        s.push(3.7);
+        s.push(9.1);
+        assert_eq!(s.quantile(0.0), 3.7);
+        assert_eq!(s.quantile(1.0), 9.1);
+    }
+
+    #[test]
+    fn subnormals_and_tiny_values_are_ordered() {
+        let mut s = QuantileSketch::new();
+        for x in [1e-300, 1e-10, 1.0, 1e10] {
+            s.push(x);
+        }
+        let p0 = s.quantile(0.01);
+        let p99 = s.quantile(1.0);
+        assert!(p0 < 1e-200, "small end {p0}");
+        assert!(p99 > 1e9, "large end {p99}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_panic() {
+        QuantileSketch::new().push(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_mixed_precisions() {
+        let mut a = QuantileSketch::with_precision(7);
+        a.merge(&QuantileSketch::with_precision(8));
+    }
+}

@@ -40,13 +40,21 @@ impl Summary {
 }
 
 /// Numerically stable online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Welford {
     n: usize,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Welford {
+    /// Same as [`Welford::new`] — a derived `Default` would zero the
+    /// extrema and report a false minimum after the first push.
+    fn default() -> Self {
+        Welford::new()
+    }
 }
 
 impl Welford {
@@ -71,9 +79,44 @@ impl Welford {
         self.max = self.max.max(x);
     }
 
+    /// Folds another accumulator into this one (Chan et al.'s parallel
+    /// update), as if every observation pushed into `other` had been pushed
+    /// here.
+    ///
+    /// `count`, `min`, and `max` combine exactly; `mean`/`m2` combine up to
+    /// floating-point rounding, so merging is associative and commutative
+    /// only to within a few ulps — callers that need bit-reproducible
+    /// aggregates (the campaign layer) must merge in a canonical order.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.n as f64 / n as f64);
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Observations so far.
     pub fn count(&self) -> usize {
         self.n
+    }
+
+    /// Minimum observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
     }
 
     /// Current mean (0 if empty).
@@ -165,6 +208,59 @@ mod tests {
     fn counts_convenience() {
         let s = Summary::of_counts(&[1, 2, 3]);
         assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 73) % 257) as f64 / 3.0).collect();
+        for split in [0, 1, 250, 499, 500] {
+            let mut a = Welford::new();
+            let mut b = Welford::new();
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            let whole = {
+                let mut w = Welford::new();
+                for &x in &xs {
+                    w.push(x);
+                }
+                w
+            };
+            assert_eq!(a.count(), whole.count());
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+            assert!((a.mean() - whole.mean()).abs() < 1e-9, "split {split}");
+            assert!(
+                (a.variance() - whole.variance()).abs() < 1e-9,
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_the_empty_accumulator() {
+        let mut w = Welford::default();
+        assert_eq!(w, Welford::new());
+        w.push(5.0);
+        assert_eq!(w.min(), 5.0, "extrema must start at ±∞, not 0");
+        assert_eq!(w.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(2.0);
+        a.push(5.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before, "merging an empty accumulator changes nothing");
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before, "merging into empty copies the other side");
     }
 
     #[test]

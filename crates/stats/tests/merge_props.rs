@@ -1,0 +1,161 @@
+//! Property tests for the mergeable accumulators: `merge` must behave like
+//! set union of the underlying samples — associative, commutative, and
+//! equal to single-pass accumulation — for every accumulator the campaign
+//! layer folds (summary, histogram, quantile sketch).
+//!
+//! Integer-count accumulators ([`LogHistogram`], [`QuantileSketch`]) are
+//! held to **bitwise** equality. [`Welford`] combines f64 moments, so its
+//! merge is associative/commutative only up to floating-point rounding;
+//! the campaign layer gets bit-reproducibility back by always merging in
+//! canonical cell/replicate order (see `docs/ARCHITECTURE.md`).
+
+use lowsense_stats::{LogHistogram, QuantileSketch, Welford};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn welford_of(xs: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w
+}
+
+fn hist_of(xs: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new(2.0, 12);
+    for &x in xs {
+        h.push(x);
+    }
+    h
+}
+
+fn sketch_of(xs: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &x in xs {
+        s.push(x);
+    }
+    s
+}
+
+/// Approximate Welford equality: identical counts/extrema, moments within
+/// a relative tolerance.
+fn welford_close(a: &Welford, b: &Welford) -> bool {
+    a.count() == b.count()
+        && a.min() == b.min()
+        && a.max() == b.max()
+        && (a.mean() - b.mean()).abs() <= 1e-9 * (1.0 + a.mean().abs())
+        && (a.variance() - b.variance()).abs() <= 1e-6 * (1.0 + a.variance().abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge == single-pass accumulation over the concatenated sample.
+    #[test]
+    fn merge_equals_single_pass(
+        xs in vec(0.0f64..1e6, 0..200),
+        ys in vec(0.0f64..1e6, 0..200),
+    ) {
+        let whole: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+
+        let mut w = welford_of(&xs);
+        w.merge(&welford_of(&ys));
+        prop_assert!(welford_close(&w, &welford_of(&whole)));
+
+        let mut h = hist_of(&xs);
+        h.merge(&hist_of(&ys));
+        prop_assert_eq!(h, hist_of(&whole));
+
+        let mut s = sketch_of(&xs);
+        s.merge(&sketch_of(&ys));
+        prop_assert_eq!(s, sketch_of(&whole));
+    }
+
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn merge_is_commutative(
+        xs in vec(0.0f64..1e6, 0..200),
+        ys in vec(0.0f64..1e6, 0..200),
+    ) {
+        let mut wab = welford_of(&xs);
+        wab.merge(&welford_of(&ys));
+        let mut wba = welford_of(&ys);
+        wba.merge(&welford_of(&xs));
+        prop_assert!(welford_close(&wab, &wba));
+
+        let mut hab = hist_of(&xs);
+        hab.merge(&hist_of(&ys));
+        let mut hba = hist_of(&ys);
+        hba.merge(&hist_of(&xs));
+        prop_assert_eq!(hab, hba);
+
+        let mut sab = sketch_of(&xs);
+        sab.merge(&sketch_of(&ys));
+        let mut sba = sketch_of(&ys);
+        sba.merge(&sketch_of(&xs));
+        prop_assert_eq!(sab, sba);
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)).
+    #[test]
+    fn merge_is_associative(
+        xs in vec(0.0f64..1e6, 0..150),
+        ys in vec(0.0f64..1e6, 0..150),
+        zs in vec(0.0f64..1e6, 0..150),
+    ) {
+        let mut wl = welford_of(&xs);
+        wl.merge(&welford_of(&ys));
+        wl.merge(&welford_of(&zs));
+        let mut wr_tail = welford_of(&ys);
+        wr_tail.merge(&welford_of(&zs));
+        let mut wr = welford_of(&xs);
+        wr.merge(&wr_tail);
+        prop_assert!(welford_close(&wl, &wr));
+
+        let mut hl = hist_of(&xs);
+        hl.merge(&hist_of(&ys));
+        hl.merge(&hist_of(&zs));
+        let mut hr_tail = hist_of(&ys);
+        hr_tail.merge(&hist_of(&zs));
+        let mut hr = hist_of(&xs);
+        hr.merge(&hr_tail);
+        prop_assert_eq!(hl, hr);
+
+        let mut sl = sketch_of(&xs);
+        sl.merge(&sketch_of(&ys));
+        sl.merge(&sketch_of(&zs));
+        let mut sr_tail = sketch_of(&ys);
+        sr_tail.merge(&sketch_of(&zs));
+        let mut sr = sketch_of(&xs);
+        sr.merge(&sr_tail);
+        prop_assert_eq!(sl, sr);
+    }
+
+    /// The sketch's quantile estimates stay within the documented relative
+    /// error of the exact sample quantiles after an arbitrary merge split.
+    #[test]
+    fn merged_sketch_quantiles_track_exact(
+        xs in vec(0.5f64..1e5, 1..200),
+        ys in vec(0.5f64..1e5, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut s = sketch_of(&xs);
+        s.merge(&sketch_of(&ys));
+        let whole: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let est = s.quantile(q);
+        // The estimate must be within the bucketing error of *some*
+        // neighbourhood of the exact quantile: compare against the nearest
+        // sample value to avoid interpolation mismatches.
+        let nearest = whole
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                (a - est).abs().partial_cmp(&(b - est).abs()).unwrap()
+            })
+            .unwrap();
+        prop_assert!(
+            (est - nearest).abs() <= nearest * 0.004 + 1e-9,
+            "q={q}: estimate {est} vs nearest sample {nearest}"
+        );
+    }
+}
