@@ -14,7 +14,7 @@
 //! The unconditional send probability is `1/w` in every configuration, so
 //! ablations isolate the *feedback loop*, not the offered load.
 
-use lowsense_sim::dist::{geometric4, geometric_fast};
+use lowsense_sim::dist::{fast_ln, geometric4_inv, geometric_inv};
 use lowsense_sim::feedback::{Feedback, Intent, Observation};
 use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
@@ -82,11 +82,33 @@ impl VariantConfig {
 }
 
 /// A `LOW-SENSING BACKOFF` variant with tunable design choices.
+// Everything derived from the window is cached and refreshed only when the
+// window changes — the same treatment the core `LowSensing` got (PR 5's
+// reciprocal-form caches, now ladder rows): the old implementation paid a
+// `ln` + `powi` recompute of the update factor on **every** observation and
+// a fresh `ln(1-p_access)` plus a divide on **every** wake draw. Window
+// updates multiply against the cached factor / reciprocal pair, and the
+// wake draws are one `fast_ln(U)` multiply via the cached
+// `1/ln(1-p_access)`.
 #[derive(Debug, Clone, Copy)]
 pub struct LowSensingVariant {
     cfg: VariantConfig,
     w: f64,
     p_listen: f64,
+    // Cached per-window derived values, refreshed by `recompute`:
+    p_send: f64,
+    p_access: f64,
+    // `1/ln(1 - p_access)` for the wake draws; 0 in the degenerate cases
+    // the draw guards short-circuit (`p_access` outside `(0, 1)`).
+    inv_ln_q_access: f64,
+    // Conditional coin biases (`p_send/p_listen`, `p_send/p_access`), so
+    // `intent` and `send_on_access` are divide-free per call.
+    p_send_given_listen: f64,
+    p_send_given_access: f64,
+    // Update factor of the *current* window and its reciprocal: back-off
+    // multiplies by `factor`, back-on by `inv_factor` (floored at `w_min`).
+    factor: f64,
+    inv_factor: f64,
 }
 
 impl LowSensingVariant {
@@ -97,6 +119,13 @@ impl LowSensingVariant {
             cfg,
             w: cfg.w_min,
             p_listen: 0.0,
+            p_send: 0.0,
+            p_access: 0.0,
+            inv_ln_q_access: 0.0,
+            p_send_given_listen: 0.0,
+            p_send_given_access: 0.0,
+            factor: 0.0,
+            inv_factor: 0.0,
         };
         v.recompute();
         v
@@ -112,37 +141,53 @@ impl LowSensingVariant {
         &self.cfg
     }
 
+    // Refreshes every window-derived cache; the only place the variant
+    // evaluates logarithms or divides.
     fn recompute(&mut self) {
         self.p_listen =
             (self.cfg.c * self.w.ln().powi(self.cfg.listen_exponent) / self.w).clamp(0.0, 1.0);
-    }
-
-    fn p_send(&self) -> f64 {
-        1.0 / self.w
-    }
-
-    fn factor(&self) -> f64 {
-        match self.cfg.update {
+        self.p_send = 1.0 / self.w;
+        self.factor = match self.cfg.update {
             UpdateRule::Gentle => 1.0 + 1.0 / (self.cfg.c * self.w.ln()),
             UpdateRule::Factor(f) => f,
-        }
+        };
+        self.inv_factor = 1.0 / self.factor;
+        self.p_access = match self.cfg.coupling {
+            Coupling::Coupled => self.p_listen.max(self.p_send),
+            Coupling::Independent => 1.0 - (1.0 - self.p_listen) * (1.0 - self.p_send),
+        };
+        self.inv_ln_q_access = if self.p_access <= 0.0 || self.p_access >= 1.0 {
+            // Degenerate: the wake draws short-circuit before using this.
+            0.0
+        } else if self.p_access < 1e-8 {
+            // `1 - p` rounds to 1 here; `ln_1p` keeps full precision.
+            1.0 / (-self.p_access).ln_1p()
+        } else {
+            1.0 / fast_ln(1.0 - self.p_access)
+        };
+        self.p_send_given_listen = self.p_send / self.p_listen;
+        self.p_send_given_access = self.p_send / self.p_access;
     }
 
     fn apply(&mut self, fb: Feedback) {
-        match fb {
-            Feedback::Empty => self.w = (self.w / self.factor()).max(self.cfg.w_min),
-            Feedback::Noisy => self.w *= self.factor(),
+        // Divide-free window update against the cached factor / reciprocal
+        // pair; a back-on clamped at the floor skips the recompute (the
+        // window and every cache are unchanged).
+        let new_w = match fb {
+            Feedback::Empty => (self.w * self.inv_factor).max(self.cfg.w_min),
+            Feedback::Noisy => self.w * self.factor,
             Feedback::Success => return,
+        };
+        if new_w == self.w {
+            return;
         }
+        self.w = new_w;
         self.recompute();
     }
 
     /// Per-slot probability of touching the channel at all.
     pub fn access_probability(&self) -> f64 {
-        match self.cfg.coupling {
-            Coupling::Coupled => self.p_listen.max(self.p_send()),
-            Coupling::Independent => 1.0 - (1.0 - self.p_listen) * (1.0 - self.p_send()),
-        }
+        self.p_access
     }
 }
 
@@ -155,14 +200,14 @@ impl Protocol for LowSensingVariant {
                 }
                 // Conditional send probability p_send/p_listen keeps the
                 // unconditional rate at exactly 1/w.
-                if rng.bernoulli(self.p_send() / self.p_listen) {
+                if rng.bernoulli(self.p_send_given_listen) {
                     Intent::Send
                 } else {
                     Intent::Listen
                 }
             }
             Coupling::Independent => {
-                let send = rng.bernoulli(self.p_send());
+                let send = rng.bernoulli(self.p_send);
                 let listen = rng.bernoulli(self.p_listen);
                 if send {
                     Intent::Send
@@ -180,33 +225,40 @@ impl Protocol for LowSensingVariant {
     }
 
     fn send_probability(&self) -> f64 {
-        self.p_send()
+        self.p_send
     }
 
     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
-        // `geometric_fast` (not `geometric`) so the scalar path is
-        // bit-identical per lane to the 4-wide `next_wake4` below.
-        Some(geometric_fast(rng, self.access_probability()))
+        // One `fast_ln(U)` multiply against the cached reciprocal —
+        // bit-identical per lane to the 4-wide `next_wake4` below (both
+        // route through the `geometric_inv` family).
+        Some(geometric_inv(rng, self.p_access, self.inv_ln_q_access))
     }
 }
 
 impl SparseProtocol for LowSensingVariant {
     fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
-        rng.bernoulli(self.p_send() / self.access_probability())
+        rng.bernoulli(self.p_send_given_access)
     }
 
     // Variants listen without sending (unlike the oblivious baselines), so
     // this override runs on the sparse engine's real listener-cohort path:
-    // four geometric redraws at per-lane access probabilities, uniforms
-    // drawn in ascending lane order, both logarithms 4-wide.
+    // four geometric redraws at per-lane cached access probabilities,
+    // uniforms drawn in ascending lane order, the `ln U`s 4-wide.
     fn next_wake4(states: &mut [&mut Self; 4], rng: &mut SimRng) -> [Option<u64>; 4] {
         let p = [
-            states[0].access_probability(),
-            states[1].access_probability(),
-            states[2].access_probability(),
-            states[3].access_probability(),
+            states[0].p_access,
+            states[1].p_access,
+            states[2].p_access,
+            states[3].p_access,
         ];
-        geometric4(rng, p).map(Some)
+        let inv = [
+            states[0].inv_ln_q_access,
+            states[1].inv_ln_q_access,
+            states[2].inv_ln_q_access,
+            states[3].inv_ln_q_access,
+        ];
+        geometric4_inv(rng, p, inv).map(Some)
     }
 }
 
@@ -314,6 +366,84 @@ mod tests {
             );
             assert!(r.drained(), "variant {cfg:?} failed to drain");
         }
+    }
+
+    #[test]
+    fn caches_track_the_window_across_walks() {
+        // After any feedback walk, every cached derived value must equal a
+        // fresh recompute from the current window — the audit that the
+        // caches cannot go stale (the old code recomputed `ln(1-p_access)`
+        // per draw and the update factor per observe; now both are cached).
+        let configs = [
+            VariantConfig::paper(0.5, 4.0),
+            VariantConfig {
+                listen_exponent: 1,
+                ..VariantConfig::paper(0.5, 4.0)
+            },
+            VariantConfig {
+                update: UpdateRule::Factor(2.0),
+                ..VariantConfig::paper(0.5, 4.0)
+            },
+            VariantConfig {
+                coupling: Coupling::Independent,
+                ..VariantConfig::paper(0.5, 4.0)
+            },
+        ];
+        for cfg in configs {
+            let mut v = LowSensingVariant::new(cfg);
+            let mut seq = SimRng::new(21);
+            for _ in 0..1_000 {
+                let fb = match seq.range_u64(3) {
+                    0 => Feedback::Empty,
+                    1 => Feedback::Noisy,
+                    _ => Feedback::Success,
+                };
+                v.observe(&obs(fb));
+                let mut fresh = v;
+                fresh.recompute();
+                assert_eq!(v.p_listen.to_bits(), fresh.p_listen.to_bits());
+                assert_eq!(v.p_send.to_bits(), fresh.p_send.to_bits());
+                assert_eq!(v.p_access.to_bits(), fresh.p_access.to_bits());
+                assert_eq!(
+                    v.inv_ln_q_access.to_bits(),
+                    fresh.inv_ln_q_access.to_bits(),
+                    "cfg {cfg:?} w {}",
+                    v.window()
+                );
+                assert_eq!(v.factor.to_bits(), fresh.factor.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_wake_matches_scalar_bitwise() {
+        // The cached-reciprocal draws must keep the scalar/4-wide pair in
+        // lockstep (the sparse engine uses next_wake4 on cohorts while the
+        // reference engine draws scalars).
+        let mut lanes: Vec<LowSensingVariant> = (0..4)
+            .map(|i| {
+                let mut v = LowSensingVariant::new(VariantConfig::paper(0.5, 4.0));
+                for _ in 0..i * 3 {
+                    v.observe(&obs(Feedback::Noisy));
+                }
+                v
+            })
+            .collect();
+        let mut scalar = lanes.clone();
+        let mut rng_b = SimRng::new(55);
+        let mut rng_s = SimRng::new(55);
+        for _ in 0..2_000 {
+            let [a, b, c, d] = &mut lanes[..] else {
+                unreachable!()
+            };
+            let batch = LowSensingVariant::next_wake4(&mut [a, b, c, d], &mut rng_b);
+            let mut seq = [None; 4];
+            for (o, v) in seq.iter_mut().zip(scalar.iter_mut()) {
+                *o = v.next_wake(&mut rng_s);
+            }
+            assert_eq!(batch, seq);
+        }
+        assert_eq!(rng_b.next_u64(), rng_s.next_u64(), "stream lockstep");
     }
 
     #[test]

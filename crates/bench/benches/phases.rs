@@ -1,336 +1,62 @@
 //! Phase-by-phase cycle profile of the sparse engine's hot loop.
 //!
 //! ```text
-//! cargo bench -p lowsense-bench --bench phases
+//! cargo bench -p lowsense-bench --bench phases            # human table
+//! cargo bench -p lowsense-bench --bench phases -- --json  # machine readable
 //! ```
 //!
-//! Runs the `sparse_lsb_16384` smoke workload through an **instrumented
-//! replica** of `run_sparse`'s loop (same statements, same order, with a
-//! TSC read between phases) and prints the share of cycles each phase
-//! consumes. This is the measurement tool behind the locality work on the
-//! sparse engine (see ROADMAP): when a perf target is missed, the recorded
-//! breakdown comes from here.
-//!
-//! The replica is validated every run: its `RunResult` totals must equal
-//! the real engine's on the same scenario, so the numbers cannot silently
-//! describe a stale copy of the loop. Phase timestamps cost ~8 cycles
-//! each (`rdtsc`) and are placed per slot or per 4-listener cohort, a few
-//! percent of the loop; treat the shares as accurate to a point or two.
+//! Runs the `sparse_lsb_16384` smoke workload through the instrumented
+//! replica in `lowsense_bench::profile` (validated against the real engine
+//! every rep) and prints the share of cycles each phase consumes. This is
+//! the measurement tool behind the locality work on the sparse engine (see
+//! ROADMAP): when a perf target is missed, the recorded breakdown comes
+//! from here. The `smoke` bench embeds the same numbers in
+//! `BENCH_engine.json`; `--json` prints the breakdown alone, in the same
+//! shape as that file's `phases` entry.
 
-use lowsense::{LowSensing, Params};
-use lowsense_sim::arrivals::{ArrivalProcess, Batch};
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{EngineCore, PacketTable, WakeQueue};
-use lowsense_sim::feedback::{Observation, SlotOutcome};
-use lowsense_sim::hooks::{Hooks, NoHooks};
-use lowsense_sim::jamming::{Jammer, NoJam};
-use lowsense_sim::metrics::{MetricsConfig, RunResult};
-use lowsense_sim::packet::PacketId;
-use lowsense_sim::protocol::{Protocol, SparseProtocol};
-use lowsense_sim::rng::SimRng;
-use lowsense_sim::scenario::scenarios;
-use lowsense_sim::time::{offset, wake_slot, Slot};
+use lowsense_bench::profile::{profile_sparse_smoke, PHASES};
 
 const PACKETS: u64 = 16_384;
 const REPS: u64 = 5;
 
-/// Cycle (or nanosecond, off x86) timestamp for phase accounting.
-#[inline(always)]
-fn tsc() -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: `rdtsc` has no preconditions; it only reads the counter.
-    unsafe {
-        core::arch::x86_64::_rdtsc()
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        use std::sync::OnceLock;
-        use std::time::Instant;
-        static START: OnceLock<Instant> = OnceLock::new();
-        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
-    }
-}
-
-const PHASES: [&str; 10] = [
-    "control (next event, gaps, advance)",
-    "inject (arrivals, factory, first wake)",
-    "take (bucket drain)",
-    "split (send_on_access draws)",
-    "resolve (jam decision, slot outcome)",
-    "observe (listener cohorts, contention)",
-    "wake (listener delay draws)",
-    "sched (calendar pushes)",
-    "senders (observe, reschedule)",
-    "depart (retire, compaction, checkpoint)",
-];
-
-#[derive(Default)]
-struct Profile {
-    cycles: [u64; PHASES.len()],
-}
-
-impl Profile {
-    #[inline(always)]
-    fn add(&mut self, phase: usize, from: u64, to: u64) {
-        self.cycles[phase] += to.wrapping_sub(from);
-    }
-}
-
-/// `run_sparse` for `LowSensing`/`NoJam`/`NoHooks` (the smoke workload),
-/// statement-for-statement, with phase timestamps. Inert hooks only: the
-/// clone-elision branch is the one the benchmark exercises.
-fn run_profiled<A: ArrivalProcess, J: Jammer>(
-    cfg: &SimConfig,
-    arrivals: A,
-    jammer: J,
-    profile: &mut Profile,
-) -> RunResult {
-    type P = LowSensing;
-    let factory = |_: &mut SimRng| LowSensing::new(Params::default());
-    let hooks = &mut NoHooks;
-
-    let mut core = EngineCore::new(cfg, arrivals, jammer);
-    let mut packets: PacketTable<P> = PacketTable::new();
-    let mut queue = WakeQueue::new();
-    let mut active_count: u64 = 0;
-    let mut contention = 0.0f64;
-    let mut participants: Vec<u32> = Vec::new();
-    let mut senders: Vec<PacketId> = Vec::new();
-    let mut listeners: Vec<PacketId> = Vec::new();
-    let mut now: Slot = 0;
-
-    let mut t0 = tsc();
-    loop {
-        if core.steps_exhausted() {
-            break;
-        }
-        let next_access: Option<Slot> = queue.next_slot();
-        let next_arrival: Option<Slot> = core
-            .peek_arrival(now, active_count, contention)
-            .map(|(s, _)| s);
-        let te = match (next_access, next_arrival) {
-            (None, None) => {
-                if active_count > 0 {
-                    let end = offset(core.limits().max_slot, 1);
-                    if end > now {
-                        core.account_gap(now, end, active_count, contention);
-                    }
-                }
-                break;
-            }
-            (a, b) => a.unwrap_or(Slot::MAX).min(b.unwrap_or(Slot::MAX)),
-        };
-        if te > core.limits().max_slot {
-            let end = offset(core.limits().max_slot, 1);
-            if end > now {
-                core.account_gap(now, end, active_count, contention);
-            }
-            break;
-        }
-        if te > now {
-            core.account_gap(now, te, active_count, contention);
-            core.checkpoint(te - 1, active_count, contention);
-        }
-        queue.advance_to(te);
-        let t1 = tsc();
-        profile.add(0, t0, t1);
-
-        while let Some((ta, count)) = core.peek_arrival(te, active_count, contention) {
-            if ta != te {
-                break;
-            }
-            core.consume_arrival();
-            for _ in 0..count {
-                let id = core.note_inject(te);
-                let mut p = factory(&mut core.rng);
-                contention += p.send_probability();
-                <NoHooks as Hooks<P>>::on_inject(hooks, te, id, &p);
-                active_count += 1;
-                let delay = p.next_wake(&mut core.rng);
-                packets.insert(id, p);
-                if let Some(slot) = wake_slot(te, delay) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-        }
-        let t2 = tsc();
-        profile.add(1, t1, t2);
-
-        participants.clear();
-        queue.take(te, &mut participants);
-        let t3 = tsc();
-        profile.add(2, t2, t3);
-
-        if participants.is_empty() {
-            if active_count > 0 {
-                let jam = core.adaptive_jam(te, active_count, contention);
-                let outcome = core.resolve(te, jam, &[]);
-                <NoHooks as Hooks<P>>::on_slot(hooks, te, &outcome);
-                core.checkpoint(te, active_count, contention);
-            }
-            now = te + 1;
-            core.step_done();
-            t0 = tsc();
-            profile.add(4, t3, t0);
-            continue;
-        }
-
-        senders.clear();
-        listeners.clear();
-        for &id in &participants {
-            let p = packets.state_mut(PacketId(id));
-            if p.send_on_access(&mut core.rng) {
-                senders.push(PacketId(id));
-            } else {
-                listeners.push(PacketId(id));
-            }
-        }
-        let t4 = tsc();
-        profile.add(3, t3, t4);
-
-        let jam = core.jam_decision(te, active_count, contention, &senders);
-        let outcome = core.resolve(te, jam, &senders);
-        <NoHooks as Hooks<P>>::on_slot(hooks, te, &outcome);
-        let fb = outcome.feedback();
-        let obs = Observation {
-            slot: te,
-            feedback: fb,
-            sent: false,
-            succeeded: false,
-        };
-        let mut tp = tsc();
-        profile.add(4, t4, tp);
-
-        let mut quads = listeners.chunks_exact(4);
-        for quad in quads.by_ref() {
-            let mut lanes = packets.lanes4([quad[0], quad[1], quad[2], quad[3]]);
-            let before_sp = [
-                lanes[0].send_probability(),
-                lanes[1].send_probability(),
-                lanes[2].send_probability(),
-                lanes[3].send_probability(),
-            ];
-            P::observe4(&mut lanes, &obs);
-            for (k, &id) in quad.iter().enumerate() {
-                core.metrics.note_listen(id);
-                contention += lanes[k].send_probability() - before_sp[k];
-            }
-            let tq = tsc();
-            profile.add(5, tp, tq);
-            let delays = P::next_wake4(&mut lanes, &mut core.rng);
-            let tr = tsc();
-            profile.add(6, tq, tr);
-            for (k, &id) in quad.iter().enumerate() {
-                if let Some(slot) = wake_slot(te + 1, delays[k]) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-            tp = tsc();
-            profile.add(7, tr, tp);
-        }
-        for &id in quads.remainder() {
-            core.metrics.note_listen(id);
-            let p = packets.state_mut(id);
-            let before_sp = p.send_probability();
-            p.observe(&obs);
-            contention += p.send_probability() - before_sp;
-            let tq = tsc();
-            profile.add(5, tp, tq);
-            let delay = p.next_wake(&mut core.rng);
-            let tr = tsc();
-            profile.add(6, tq, tr);
-            if let Some(slot) = wake_slot(te + 1, delay) {
-                queue.schedule(slot, id.0);
-            }
-            tp = tsc();
-            profile.add(7, tr, tp);
-        }
-        let t5 = tp;
-
-        let winner = match outcome {
-            SlotOutcome::Success { id } => Some(id),
-            _ => None,
-        };
-        for &id in &senders {
-            core.metrics.note_send(id);
-            let succeeded = winner == Some(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: true,
-                succeeded,
-            };
-            let p = packets.state_mut(id);
-            let before_sp = p.send_probability();
-            p.observe(&obs);
-            contention += p.send_probability() - before_sp;
-            if !succeeded {
-                let delay = p.next_wake(&mut core.rng);
-                if let Some(slot) = wake_slot(te + 1, delay) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-        }
-        let t6 = tsc();
-        profile.add(8, t5, t6);
-
-        if let Some(id) = winner {
-            let p = packets.state(id);
-            contention -= p.send_probability();
-            <NoHooks as Hooks<P>>::on_depart(hooks, te, id, p);
-            packets.retire(id);
-            core.metrics.note_depart(id, te);
-            active_count -= 1;
-            packets.maybe_compact();
-        }
-        core.checkpoint(te, active_count, contention);
-        now = te + 1;
-        core.step_done();
-        t0 = tsc();
-        profile.add(9, t6, t0);
-    }
-
-    core.finish()
-}
-
 fn main() {
-    let mut profile = Profile::default();
-    let mut accesses = 0u64;
-    // Warm-up, discarded.
-    let _ = run_profiled(
-        &SimConfig::new(0).metrics(MetricsConfig::totals_only()),
-        Batch::new(PACKETS),
-        NoJam,
-        &mut Profile::default(),
-    );
-    for seed in 1..=REPS {
-        let cfg = SimConfig::new(seed).metrics(MetricsConfig::totals_only());
-        let r = run_profiled(&cfg, Batch::new(PACKETS), NoJam, &mut profile);
-        accesses += r.totals.accesses();
+    let json = std::env::args().any(|a| a == "--json");
+    let smoke = profile_sparse_smoke(PACKETS, REPS);
+    let total = smoke.profile.total();
 
-        // Keep the replica honest: it must reproduce the real engine.
-        let real = scenarios::batch_drain(PACKETS)
-            .totals_only()
-            .seeded(seed)
-            .run_sparse(|_| LowSensing::new(Params::default()));
-        assert_eq!(
-            r.totals, real.totals,
-            "instrumented replica diverged from run_sparse (seed {seed})"
-        );
+    if json {
+        println!("{{");
+        println!("  \"schema\": \"lowsense-bench-phases/1\",");
+        println!("  \"workload\": \"sparse_lsb_16384\",");
+        println!("  \"reps\": {},", smoke.reps);
+        println!("  \"accesses\": {},", smoke.accesses);
+        println!("  \"total_cycles\": {total},");
+        println!("  \"cyc_per_access\": {:.2},", smoke.cyc_per_access());
+        println!("  \"shares\": {{");
+        for (i, phase) in PHASES.iter().enumerate() {
+            let sep = if i + 1 == PHASES.len() { "" } else { "," };
+            println!("    \"{}\": {:.4}{sep}", phase.slug, smoke.profile.share(i));
+        }
+        println!("  }}");
+        println!("}}");
+        return;
     }
 
-    let total: u64 = profile.cycles.iter().sum();
-    println!("phases: sparse_lsb_16384, {REPS} reps, {accesses} accesses");
+    println!(
+        "phases: sparse_lsb_16384, {} reps, {} accesses",
+        smoke.reps, smoke.accesses
+    );
     println!(
         "phases: {} total cycles, {:.1} per access",
         total,
-        total as f64 / accesses as f64
+        smoke.cyc_per_access()
     );
-    for (name, &c) in PHASES.iter().zip(&profile.cycles) {
+    for (i, phase) in PHASES.iter().enumerate() {
         println!(
-            "phases: {:>5.1}%  {:>7.1} cyc/access  {name}",
-            100.0 * c as f64 / total as f64,
-            c as f64 / accesses as f64,
+            "phases: {:>5.1}%  {:>7.1} cyc/access  {}",
+            100.0 * smoke.profile.share(i),
+            smoke.profile.cycles[i] as f64 / smoke.accesses.max(1) as f64,
+            phase.label,
         );
     }
 }

@@ -7,16 +7,21 @@
 //! Runs one representative scenario per engine and writes
 //! `BENCH_engine.json` (at the workspace root) with slots-per-second and
 //! accesses-per-second figures, so successive PRs have a perf trajectory
-//! to compare against. Schema 3 adds a `campaign` section timing the tiny
-//! face-off sweep (cells per second on the shard pool):
+//! to compare against. Schema 3 added a `campaign` section timing the tiny
+//! face-off sweep (cells per second on the shard pool); schema 4 adds a
+//! `phases` section with the instrumented-loop cycle profile (see the
+//! `phases` bench — same profiler, embedded here so CI can gate on
+//! `cyc_per_access` and the per-phase shares):
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/3",
+//!   "schema": "lowsense-bench-engine/4",
 //!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
 //!                            "accesses": A, "accesses_per_sec": Q } },
 //!   "campaign": { "<name>": { "cells": C, "runs": U, "seconds": S,
-//!                             "cells_per_sec": R } }
+//!                             "cells_per_sec": R } },
+//!   "phases": { "<name>": { "accesses": A, "cyc_per_access": X,
+//!                           "shares": { "<slug>": F, ... } } }
 //! }
 //! ```
 //!
@@ -33,6 +38,7 @@ use std::time::Instant;
 
 use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu};
+use lowsense_bench::profile::{profile_sparse_smoke, PHASES};
 use lowsense_experiments::campaigns;
 use lowsense_sim::metrics::RunResult;
 use lowsense_sim::scenario::scenarios;
@@ -142,8 +148,13 @@ fn main() {
     let campaign_runs = campaign_spec.unit_count() as u64 * campaign_reps as u64;
     let cells_per_sec = campaign_cells as f64 / campaign_seconds.max(1e-12);
 
+    // The cycle profile of the sparse hot loop, via the same instrumented
+    // replica the `phases` bench prints (validated against run_sparse on
+    // every rep).
+    let phase_profile = profile_sparse_smoke(16_384, 5);
+
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/3\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/4\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
@@ -163,7 +174,21 @@ fn main() {
          \"cells_per_sec\": {:.1} }}\n",
         campaign_cells, campaign_runs, campaign_seconds, cells_per_sec
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n  \"phases\": {\n");
+    json.push_str(&format!(
+        "    \"sparse_lsb_16384\": {{ \"accesses\": {}, \"cyc_per_access\": {:.2}, \"shares\": {{ ",
+        phase_profile.accesses,
+        phase_profile.cyc_per_access()
+    ));
+    for (i, phase) in PHASES.iter().enumerate() {
+        let sep = if i + 1 == PHASES.len() { "" } else { ", " };
+        json.push_str(&format!(
+            "\"{}\": {:.4}{sep}",
+            phase.slug,
+            phase_profile.profile.share(i)
+        ));
+    }
+    json.push_str(" } }\n  }\n}\n");
 
     for s in &samples {
         println!(
@@ -178,6 +203,14 @@ fn main() {
     println!(
         "smoke: {:<28} {:>12} cells in {:>8.3}s  ({:>12.1} cells/sec, {} runs)",
         "campaign_faceoff_small", campaign_cells, campaign_seconds, cells_per_sec, campaign_runs
+    );
+    println!(
+        "smoke: {:<28} {:>12} accesses  ({:.1} cyc/access; observe {:.1}%, wake {:.1}%)",
+        "phases_sparse_lsb_16384",
+        phase_profile.accesses,
+        phase_profile.cyc_per_access(),
+        100.0 * phase_profile.profile.share(5),
+        100.0 * phase_profile.profile.share(6),
     );
     let mut f = std::fs::File::create(OUT_FILE).expect("create BENCH_engine.json");
     f.write_all(json.as_bytes())

@@ -1,1 +1,9 @@
-//! Bench crate: see benches/.
+//! Shared measurement machinery for the bench targets.
+//!
+//! The phase profiler here is consumed by two benches: `phases` (the
+//! human-readable breakdown, with a `--json` mode) and `smoke` (which
+//! records `cyc_per_access` and per-phase shares into `BENCH_engine.json`
+//! so CI can gate on them). Keeping one copy of the instrumented loop means
+//! the two can never disagree about what was measured.
+
+pub mod profile;

@@ -1,0 +1,385 @@
+//! The quantized window ladder: `LOW-SENSING BACKOFF`'s reachable windows
+//! as a precomputed table.
+//!
+//! The protocol's single state variable only ever moves by multiplicative
+//! steps: noise multiplies the window by `1 + 1/(c·ln w)`, silence divides
+//! by it (floored at `w_min`). Starting from any anchor window the states a
+//! packet can reach therefore form a discrete **ladder**: rung `k+1` is one
+//! back-off step above rung `k`, and a back-on step from rung `k+1` returns
+//! to rung `k`. Quantizing to the ladder is the one place this differs from
+//! the continuous update: the continuous back-on divides by the factor of
+//! the *current* window rather than the factor that grew it, so an up-down
+//! round trip lands `O(1/(c·ln² w))` relative away from where it started
+//! (see `window::tests::back_on_inverts_back_off_approximately`). The
+//! ladder snaps that round trip to exact — same `1/w` send-probability
+//! identity per rung, same `Θ(1/(c·ln w))`-relative step sizes the
+//! analysis charges against the potential, but a finite state space.
+//!
+//! What that buys the hot path: every rung carries the full set of derived
+//! quantities the PR 5 reciprocal-form recompute produced on the fly
+//! (`p_listen`, `p_send|listen`, `1/ln(1-p_listen)`), computed by the
+//! **same arithmetic** ([`derive()`], pinned bit-identical by
+//! `tests/ladder.rs`). A window update becomes a level increment/decrement
+//! plus a 3-gather from one 32-byte row — **zero** `ln` calls and **zero**
+//! divides. The only transcendental left in the steady state is the
+//! irreducible `ln U` of the next-wake draw.
+//!
+//! Ladders are interned per `(c, w_min, anchor)` in a process-wide cache
+//! ([`shared`]) and handed out as `&'static` references, so every packet
+//! with the same parameters shares one table (typically a few hundred rungs
+//! ≈ tens of KiB) and the per-packet state stays `Copy` and within one
+//! cache line. Interned ladders are deliberately leaked; the cache is
+//! bounded by the number of distinct parameter sets a process touches.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use lowsense_sim::dist::fast_ln;
+
+use crate::params::Params;
+
+/// Ascent stops once the listen probability drops below this. At
+/// `p_listen = 1e-21` the expected gap between channel accesses is `1e21`
+/// slots — beyond any simulable horizon (`u64::MAX ≈ 1.8e19`) — so a packet
+/// parked on the saturation rung is indistinguishable from one whose window
+/// kept growing.
+const P_LISTEN_STOP: f64 = 1e-21;
+
+/// Hard cap on rung count, guarding construction against pathological
+/// parameters (huge `c` makes the factor minuscule). Reaching it leaves the
+/// top rung observable in principle; `Ladder::saturated` reports whether
+/// the ladder instead ended at the [`P_LISTEN_STOP`] floor (every parameter
+/// set in the test registry does).
+const MAX_LEVELS: usize = 16_384;
+
+/// One rung of the ladder: a reachable window and every derived quantity
+/// the hot path reads (32 bytes — half a cache line per rung).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderRow {
+    /// The window value `w` of this rung.
+    pub w: f64,
+    /// Listen probability `min(1, c·ln³(w)/w)`.
+    pub p_listen: f64,
+    /// Conditional send probability `min(1, 1/(c·ln³ w))`.
+    pub p_send_given_listen: f64,
+    /// Cached `1/ln(1 - p_listen)` for the geometric wake draw; `0` in the
+    /// degenerate cases the draw guards handle (`p_listen` outside
+    /// `(0, 1)`).
+    pub inv_ln_q_listen: f64,
+}
+
+/// Everything derivable from one window value: the [`LadderRow`] plus the
+/// update-factor pair used to construct neighbouring rungs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Derived {
+    /// The precomputed per-rung quantities.
+    pub row: LadderRow,
+    /// Back-off factor `1 + 1/(c·ln w)` (one rung up is `w · back_off`).
+    pub back_off_factor: f64,
+    /// Its reciprocal (the continuous back-on multiplies by this).
+    pub back_on_factor: f64,
+}
+
+/// The window recompute, in one place.
+///
+/// This is the reciprocal-form arithmetic the PR 5 `LowSensing::recompute`
+/// and its hand-maintained 4-wide copy in `observe4` both evaluated per
+/// window change; deduplicating them here makes it impossible for the two
+/// to drift, and ladder construction reuses it so every rung is
+/// bit-identical to what the on-the-fly recompute produced for the same
+/// window (pinned by the `tests/ladder.rs` proptest). One `fast_ln` of the
+/// window, one reciprocal `x = 1/(c·ln w)` (bit-equal to
+/// `window::update_factor_ln(c, ln w) - 1`), and the send probability as
+/// pure multiplies: `1/(c·ln³ w) = x³·c²` exactly in real arithmetic.
+#[inline]
+pub fn derive(params: &Params, w: f64) -> Derived {
+    let ln_w = fast_ln(w);
+    let c = params.c();
+    let x = 1.0 / (c * ln_w);
+    let back_off_factor = 1.0 + x;
+    let back_on_factor = 1.0 / back_off_factor;
+    let p_listen = params.listen_probability_ln(w, ln_w);
+    let p_send_given_listen = (x * x * x * (c * c)).min(1.0);
+    let inv_ln_q_listen = if p_listen <= 0.0 || p_listen >= 1.0 {
+        // Degenerate: the wake draws short-circuit before using this.
+        0.0
+    } else if p_listen < 1e-8 {
+        // `1 - p` rounds to 1 here; `ln_1p` keeps full precision.
+        1.0 / (-p_listen).ln_1p()
+    } else {
+        1.0 / fast_ln(1.0 - p_listen)
+    };
+    Derived {
+        row: LadderRow {
+            w,
+            p_listen,
+            p_send_given_listen,
+            inv_ln_q_listen,
+        },
+        back_off_factor,
+        back_on_factor,
+    }
+}
+
+/// The precomputed reachable-window table for one `(params, anchor)` pair.
+///
+/// Rung 0 is `w_min` (the back-on floor); the anchor — the window the
+/// ladder was grown from, `w_min` itself for freshly injected packets — sits
+/// at [`Ladder::anchor_level`], with the continuous back-on orbit below it
+/// and the back-off orbit above it, up to the saturation rung.
+#[derive(Clone, PartialEq)]
+pub struct Ladder {
+    params: Params,
+    anchor: u32,
+    rows: Box<[LadderRow]>,
+}
+
+impl Ladder {
+    /// Builds the ladder for `params`, anchored at `anchor_w` (clamped to
+    /// `≥ w_min`).
+    ///
+    /// Descending rungs are the continuous back-on orbit of the anchor
+    /// (each divides by the *current* rung's factor, exactly as the
+    /// continuous update would, until the floor clamp yields `w_min`);
+    /// ascending rungs are the back-off orbit. Both use [`derive()`]'s
+    /// arithmetic, so a pure back-off (or pure back-on) trajectory of the
+    /// ladder protocol is bit-identical to the continuous code's.
+    pub fn build(params: Params, anchor_w: f64) -> Self {
+        let w_min = params.w_min();
+        let anchor_w = anchor_w.max(w_min);
+        // Back-on orbit below the anchor, collected top-down. The loop
+        // terminates: each step shrinks multiplicatively by at least the
+        // anchor's factor until the clamp produces exactly `w_min`.
+        let mut below: Vec<f64> = Vec::new();
+        let mut v = anchor_w;
+        while v > w_min && below.len() < MAX_LEVELS {
+            let d = derive(&params, v);
+            let next = (v * d.back_on_factor).max(w_min);
+            if next >= v {
+                break; // fp safety net: no downward progress
+            }
+            below.push(next);
+            v = next;
+        }
+        let mut rows: Vec<LadderRow> = below
+            .iter()
+            .rev()
+            .map(|&w| derive(&params, w).row)
+            .collect();
+        let anchor = rows.len() as u32;
+        // The anchor itself, then the back-off orbit above it.
+        let mut d = derive(&params, anchor_w);
+        rows.push(d.row);
+        while rows.len() < MAX_LEVELS && d.row.p_listen > P_LISTEN_STOP {
+            let next = d.row.w * d.back_off_factor;
+            if !next.is_finite() || next <= d.row.w {
+                break;
+            }
+            d = derive(&params, next);
+            rows.push(d.row);
+        }
+        Ladder {
+            params,
+            anchor,
+            rows: rows.into_boxed_slice(),
+        }
+    }
+
+    /// The parameters this ladder was built for.
+    #[inline]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The rung at `level`.
+    #[inline]
+    pub fn row(&self, level: u32) -> &LadderRow {
+        &self.rows[level as usize]
+    }
+
+    /// All rungs, bottom (`w_min`) to top (saturation).
+    #[inline]
+    pub fn rows(&self) -> &[LadderRow] {
+        &self.rows
+    }
+
+    /// Index of the anchor rung (the window the ladder was grown from).
+    #[inline]
+    pub fn anchor_level(&self) -> u32 {
+        self.anchor
+    }
+
+    /// Index of the top (saturation) rung; back-off from here is a no-op.
+    #[inline]
+    pub fn top_level(&self) -> u32 {
+        (self.rows.len() - 1) as u32
+    }
+
+    /// Whether ascent ended because the listen probability fell through the
+    /// stop floor (the intended saturation), as opposed to the rung-count
+    /// safety cap binding first.
+    pub fn saturated(&self) -> bool {
+        self.rows[self.rows.len() - 1].p_listen <= P_LISTEN_STOP
+    }
+}
+
+impl std::fmt::Debug for Ladder {
+    // A ladder holds hundreds of rungs; summarize instead of dumping them
+    // (packet states embed a ladder reference and derive Debug for
+    // assertion messages).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ladder")
+            .field("params", &self.params)
+            .field("levels", &self.rows.len())
+            .field("anchor", &self.anchor)
+            .field("w_bottom", &self.rows[0].w)
+            .field("w_top", &self.rows[self.rows.len() - 1].w)
+            .finish()
+    }
+}
+
+/// Returns the process-wide interned ladder for `(params, anchor_w)`,
+/// building it on first use.
+///
+/// Every packet constructed with the same parameters and starting window
+/// shares one `&'static` table — the "cache sharing across same-params
+/// packets" that keeps per-packet state `Copy` and one cache line. Entries
+/// are leaked intentionally; the cache is bounded by the distinct parameter
+/// sets a process touches (a sweep of 100 parameter points costs a few MiB
+/// once, not per packet).
+pub fn shared(params: Params, anchor_w: f64) -> &'static Ladder {
+    type Key = (u64, u64, u64);
+    static CACHE: OnceLock<Mutex<HashMap<Key, &'static Ladder>>> = OnceLock::new();
+    let anchor_w = anchor_w.max(params.w_min());
+    let key = (
+        params.c().to_bits(),
+        params.w_min().to_bits(),
+        anchor_w.to_bits(),
+    );
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("ladder cache poisoned");
+    match cache.get(&key) {
+        Some(ladder) => ladder,
+        None => {
+            let ladder: &'static Ladder = Box::leak(Box::new(Ladder::build(params, anchor_w)));
+            cache.insert(key, ladder);
+            ladder
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_rung_is_exactly_w_min() {
+        for anchor in [4.0, 5.5, 64.0, 1e6] {
+            let l = Ladder::build(Params::default(), anchor);
+            assert_eq!(l.row(0).w, 4.0, "anchor {anchor}");
+        }
+    }
+
+    #[test]
+    fn anchor_rung_carries_the_exact_anchor_window() {
+        let l = Ladder::build(Params::default(), 64.0);
+        assert_eq!(l.row(l.anchor_level()).w, 64.0);
+        let fresh = Ladder::build(Params::default(), 4.0);
+        assert_eq!(fresh.anchor_level(), 0);
+    }
+
+    #[test]
+    fn rungs_strictly_increase() {
+        let l = Ladder::build(Params::default(), 1e5);
+        for pair in l.rows().windows(2) {
+            assert!(pair[0].w < pair[1].w);
+        }
+    }
+
+    #[test]
+    fn ascent_saturates_below_the_listen_floor() {
+        let l = Ladder::build(Params::default(), 4.0);
+        assert!(l.saturated(), "{l:?}");
+        assert!(l.row(l.top_level()).p_listen <= P_LISTEN_STOP);
+        // One rung below the top is still above the floor (minimal ladder).
+        assert!(l.row(l.top_level() - 1).p_listen > P_LISTEN_STOP);
+        // The default-params ladder is small: hundreds of rungs, tens of KiB.
+        assert!(l.rows().len() < 2_000, "{} rungs", l.rows().len());
+    }
+
+    #[test]
+    fn rows_match_derive_by_bits() {
+        let l = Ladder::build(Params::new(1.0, 8.0).unwrap(), 300.0);
+        for row in l.rows() {
+            let d = derive(l.params(), row.w);
+            assert_eq!(row.p_listen.to_bits(), d.row.p_listen.to_bits());
+            assert_eq!(
+                row.p_send_given_listen.to_bits(),
+                d.row.p_send_given_listen.to_bits()
+            );
+            assert_eq!(
+                row.inv_ln_q_listen.to_bits(),
+                d.row.inv_ln_q_listen.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn descent_is_the_continuous_back_on_orbit() {
+        // Each rung below the anchor must be exactly one continuous back-on
+        // step (reciprocal multiply + floor clamp) from the rung above it.
+        let params = Params::default();
+        let l = Ladder::build(params, 1e4);
+        for lvl in (1..=l.anchor_level()).rev() {
+            let upper = l.row(lvl).w;
+            let d = derive(&params, upper);
+            let expect = (upper * d.back_on_factor).max(params.w_min());
+            assert_eq!(l.row(lvl - 1).w.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn ascent_is_the_continuous_back_off_orbit() {
+        let params = Params::default();
+        let l = Ladder::build(params, 4.0);
+        for lvl in 0..l.top_level() {
+            let w = l.row(lvl).w;
+            let d = derive(&params, w);
+            assert_eq!(
+                l.row(lvl + 1).w.to_bits(),
+                (w * d.back_off_factor).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_interns_per_params_and_anchor() {
+        let a = shared(Params::default(), 4.0);
+        let b = shared(Params::default(), 4.0);
+        assert!(std::ptr::eq(a, b));
+        // Sub-floor anchors clamp to w_min and share the fresh ladder.
+        let c = shared(Params::default(), 1.0);
+        assert!(std::ptr::eq(a, c));
+        let d = shared(Params::default(), 64.0);
+        assert!(!std::ptr::eq(a, d));
+        let e = shared(Params::new(1.0, 4.0).unwrap(), 4.0);
+        assert!(!std::ptr::eq(a, e));
+    }
+
+    #[test]
+    fn clamped_listen_probability_rows_are_degenerate_guarded() {
+        // c = 2 clamps p_listen to 1 around w = e³; those rungs must carry
+        // inv_ln_q = 0 (the draw guards short-circuit on p_listen >= 1).
+        let l = Ladder::build(Params::new(2.0, 4.0).unwrap(), 4.0);
+        let mut saw_clamped = false;
+        for row in l.rows() {
+            if row.p_listen >= 1.0 {
+                saw_clamped = true;
+                assert_eq!(row.inv_ln_q_listen, 0.0, "w = {}", row.w);
+            }
+        }
+        assert!(saw_clamped, "expected clamped rungs near w = e³");
+    }
+}

@@ -41,6 +41,7 @@
 //! |--------|----------|
 //! | [`params`] | validated algorithm constants `c`, `w_min` |
 //! | [`window`] | the multiplicative back-off/back-on rules |
+//! | [`ladder`] | the quantized reachable-window table the hot path steps |
 //! | [`protocol`] | [`LowSensing`]: the Figure 1 state machine |
 //! | [`potential`] | `Φ(t)`, contention, regimes (§4.1–4.2) |
 //! | [`intervals`] | Theorem 5.18 interval drift recorder |
@@ -50,6 +51,7 @@
 #![deny(missing_docs)]
 
 pub mod intervals;
+pub mod ladder;
 pub mod params;
 pub mod potential;
 pub mod protocol;
@@ -57,6 +59,7 @@ pub mod theory;
 pub mod window;
 
 pub use intervals::{IntervalRecord, IntervalRecorder};
+pub use ladder::{Ladder, LadderRow};
 pub use params::{ParamError, Params};
 pub use potential::{Alphas, PotentialTracker, Regime, RegimeOccupancy, RegimeThresholds};
 pub use protocol::LowSensing;

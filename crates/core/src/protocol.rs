@@ -13,12 +13,27 @@
 //! already "decided to listen" — which the energy analysis exploits
 //! (Theorem 5.25: every listen carries a `1/(c·ln³ w)` chance of being a
 //! send, so long listen streaks imply success).
+//!
+//! # Representation: the quantized window ladder
+//!
+//! The window is not stored as a float. Since it only moves by the
+//! multiplicative back-off/back-on steps above, the reachable windows form
+//! a discrete [`crate::ladder`] precomputed once per parameter set:
+//! the state is a **level index**, a window update is a level
+//! increment/decrement plus a 3-value gather from a 32-byte table row, and
+//! the steady state runs with **zero** `ln` calls and **zero** divides —
+//! the only transcendental left is the `ln U` of the wake draw (one
+//! [`fast_ln`](lowsense_sim::dist::fast_ln) multiply via
+//! [`geometric_inv`]). See `crates/core/src/ladder.rs` and
+//! docs/ARCHITECTURE.md § "The quantized window ladder" for why the
+//! quantization preserves the analysis's invariants.
 
-use lowsense_sim::dist::{fast_ln, fast_ln4, saturating_count};
+use lowsense_sim::dist::{geometric4_inv, geometric_inv};
 use lowsense_sim::feedback::{Feedback, Intent, Observation};
 use lowsense_sim::protocol::{Protocol, SparseProtocol};
 use lowsense_sim::rng::SimRng;
 
+use crate::ladder::{self, Ladder};
 use crate::params::Params;
 
 /// Per-packet state of `LOW-SENSING BACKOFF`.
@@ -34,34 +49,21 @@ use crate::params::Params;
 /// // Fresh packets send with probability exactly 1/w_min.
 /// assert!((p.send_probability() - 0.25).abs() < 1e-12);
 /// ```
-// The 8-f64 state is exactly one 64-byte cache line, so the event-driven
-// engines' scattered per-listener table accesses touch one line instead of
-// straddling two ~75% of the time.
-//
-// Everything derived from the window is kept in **reciprocal form**,
-// refreshed only when the window changes, so the per-observation hot path
-// is divide-free: the window update multiplies against the cached
-// `back_off_factor`/`back_on_factor` pair (the old path recomputed
-// `1 + 1/(c·ln w)` and divided by it on every silent slot, clamped or
-// not), and the recompute itself funnels through one reciprocal
-// `x = 1/(c·ln w)` from which the send probability is pure multiplies.
-#[derive(Debug, Clone, Copy, PartialEq)]
+// 40 bytes of live state (ladder pointer, level, three cached row values),
+// 64-byte aligned so the event-driven engines' scattered per-listener table
+// accesses touch exactly one cache line. The row values are cached inline
+// (rather than re-read through the ladder on every `intent`/draw) so the
+// non-observing hot calls are pure field reads; `observe` refreshes them
+// with a 3-gather from the new level's row.
+#[derive(Clone, Copy)]
 #[repr(align(64))]
 pub struct LowSensing {
-    params: Params,
-    w: f64,
-    // Cached update factor `1 + 1/(c·ln w)` of the *current* window, and
-    // its reciprocal: back-off is `w · back_off_factor`, back-on is
-    // `max(w · back_on_factor, w_min)` — no divide, no `ln`.
-    back_off_factor: f64,
-    back_on_factor: f64,
-    // Cached per-slot probabilities; recomputed only on window changes.
+    ladder: &'static Ladder,
+    level: u32,
+    // Cached copies of the current rung's row; bit-identical to
+    // `ladder.row(level)` at all times.
     p_listen: f64,
     p_send_given_listen: f64,
-    // Cached `1 / ln(1 - p_listen)`, so sampling the next access delay
-    // costs one (fast) `ln` of the uniform and a multiply instead of two
-    // `ln`s and a divide. Zero in the degenerate cases the draw guards
-    // handle (`p_listen` outside `(0, 1)`).
     inv_ln_q_listen: f64,
 }
 
@@ -72,63 +74,90 @@ impl LowSensing {
     }
 
     /// A packet with an explicit starting window (clamped to `≥ w_min`);
-    /// used by tests and ablations.
+    /// used by tests and ablations. The starting window becomes the
+    /// ladder's anchor rung, so `window()` reports it exactly.
     pub fn with_window(params: Params, w: f64) -> Self {
-        let w = w.max(params.w_min());
-        let mut p = LowSensing {
-            params,
-            w,
-            back_off_factor: 0.0,
-            back_on_factor: 0.0,
-            p_listen: 0.0,
-            p_send_given_listen: 0.0,
-            inv_ln_q_listen: 0.0,
-        };
-        p.recompute();
-        p
-    }
-
-    // Refreshes every window-derived cache. One `fast_ln` plus four
-    // divides (`x`, the back-on reciprocal, the listen probability's `/w`,
-    // and `1/ln q` — itself a reciprocal cache); everything else is
-    // multiplies against `x = 1/(c·ln w)`:
-    // `p_send|listen = 1/(c·ln³ w) = x³·c²` exactly in real arithmetic.
-    // `observe4` mirrors this per lane bit for bit.
-    fn recompute(&mut self) {
-        let ln_w = fast_ln(self.w);
-        let c = self.params.c();
-        let x = 1.0 / (c * ln_w);
-        self.back_off_factor = 1.0 + x;
-        self.back_on_factor = 1.0 / self.back_off_factor;
-        self.p_listen = self.params.listen_probability_ln(self.w, ln_w);
-        self.p_send_given_listen = (x * x * x * (c * c)).min(1.0);
-        self.inv_ln_q_listen = if self.p_listen <= 0.0 || self.p_listen >= 1.0 {
-            // Degenerate: `next_wake` short-circuits before using this.
-            0.0
-        } else if self.p_listen < 1e-8 {
-            // `1 - p` rounds to 1 here; `ln_1p` keeps full precision.
-            1.0 / (-self.p_listen).ln_1p()
-        } else {
-            1.0 / fast_ln(1.0 - self.p_listen)
-        };
+        let ladder = ladder::shared(params, w);
+        let level = ladder.anchor_level();
+        let row = ladder.row(level);
+        LowSensing {
+            ladder,
+            level,
+            p_listen: row.p_listen,
+            p_send_given_listen: row.p_send_given_listen,
+            inv_ln_q_listen: row.inv_ln_q_listen,
+        }
     }
 
     /// Current window size `w_u(t)`.
     #[inline]
     pub fn window(&self) -> f64 {
-        self.w
+        self.ladder.row(self.level).w
     }
 
     /// The parameters this packet runs with.
     #[inline]
     pub fn params(&self) -> &Params {
-        &self.params
+        self.ladder.params()
+    }
+
+    /// The interned window ladder this packet steps along.
+    #[inline]
+    pub fn ladder(&self) -> &'static Ladder {
+        self.ladder
+    }
+
+    /// Current rung index on [`LowSensing::ladder`] (0 = the `w_min`
+    /// floor).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
     }
 
     /// Probability of accessing the channel (listening) this slot.
     #[inline]
     pub fn access_probability(&self) -> f64 {
         self.p_listen
+    }
+
+    /// Moves to `level` and refreshes the cached row values.
+    #[inline]
+    fn set_level(&mut self, level: u32) {
+        let row = self.ladder.row(level);
+        self.level = level;
+        self.p_listen = row.p_listen;
+        self.p_send_given_listen = row.p_send_given_listen;
+        self.inv_ln_q_listen = row.inv_ln_q_listen;
+    }
+}
+
+// The ladder reference compares by identity: `ladder::shared` interns one
+// table per (params, anchor), so two packets on the same ladder pointer
+// have the same parameters, and equal levels then imply equal windows. The
+// cached floats are compared too, pinning the "inline cache matches the
+// row" invariant in tests that compare whole states.
+impl PartialEq for LowSensing {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.ladder, other.ladder)
+            && self.level == other.level
+            && self.p_listen == other.p_listen
+            && self.p_send_given_listen == other.p_send_given_listen
+            && self.inv_ln_q_listen == other.inv_ln_q_listen
+    }
+}
+
+impl std::fmt::Debug for LowSensing {
+    // Manual: deriving would dump the whole interned ladder into every
+    // assertion message.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LowSensing")
+            .field("params", self.params())
+            .field("level", &self.level)
+            .field("w", &self.window())
+            .field("p_listen", &self.p_listen)
+            .field("p_send_given_listen", &self.p_send_given_listen)
+            .field("inv_ln_q_listen", &self.inv_ln_q_listen)
+            .finish()
     }
 }
 
@@ -147,24 +176,22 @@ impl Protocol for LowSensing {
 
     #[inline]
     fn observe(&mut self, obs: &Observation) {
-        // Divide-free window update: multiply against the cached factor /
-        // reciprocal pair (`window::back_{on,off}` up to the reciprocal's
-        // rounding, which shifts individual trajectories by ulps but not
-        // the distributions the analysis is about).
-        let new_w = match obs.feedback {
-            Feedback::Empty => (self.w * self.back_on_factor).max(self.params.w_min()),
-            Feedback::Noisy => self.w * self.back_off_factor,
+        // Transcendental-free, divide-free window update: one rung up or
+        // down the precomputed ladder, clamped at the `w_min` floor (rung
+        // 0) and the saturation rung (top).
+        let new_level = match obs.feedback {
+            Feedback::Empty => self.level.saturating_sub(1),
+            Feedback::Noisy => (self.level + 1).min(self.ladder.top_level()),
             // Someone else's success: no update (Figure 1 has rules only for
             // silent and noisy slots). Our own success departs us anyway.
             Feedback::Success => return,
         };
-        if new_w == self.w {
-            // Back-on clamped at the floor: the window (and every cached
-            // derived probability) is unchanged, so skip the recompute.
+        if new_level == self.level {
+            // Clamped at the floor (or parked on the saturation rung): the
+            // window and every cached derived probability are unchanged.
             return;
         }
-        self.w = new_w;
-        self.recompute();
+        self.set_level(new_level);
     }
 
     #[inline]
@@ -174,18 +201,10 @@ impl Protocol for LowSensing {
 
     #[inline]
     fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
-        // Exact inversion sampling, `k = ⌊ln U / ln(1-p_listen)⌋`, like
-        // `dist::geometric` — but with the logarithm of `1-p` cached as a
-        // reciprocal and `fast_ln` for the uniform, this is one inlined
-        // transcendental per draw. The guards mirror `geometric`'s.
-        if self.p_listen >= 1.0 {
-            return Some(0);
-        }
-        if self.p_listen <= 0.0 {
-            return Some(u64::MAX);
-        }
-        let u = 1.0 - rng.f64();
-        Some(saturating_count(fast_ln(u) * self.inv_ln_q_listen))
+        // Exact inversion sampling, `k = ⌊ln U / ln(1-p_listen)⌋`, with the
+        // logarithm of `1-p` cached (pre-inverted) in the ladder row: one
+        // inlined transcendental and one multiply per draw.
+        Some(geometric_inv(rng, self.p_listen, self.inv_ln_q_listen))
     }
 }
 
@@ -195,118 +214,19 @@ impl SparseProtocol for LowSensing {
         rng.bernoulli(self.p_send_given_listen)
     }
 
-    // The 4-wide listener update. Per scalar listen, `observe` +
-    // `next_wake` cost three transcendentals (`ln w_new`,
-    // `ln(1 - p_listen)`, `ln U`); here each of the three is evaluated
-    // once for four lanes through `fast_ln4`, whose per-lane arithmetic is
-    // the scalar `fast_ln`'s — so every lane's state and delay are
-    // bit-identical to the scalar path, per the `SparseProtocol` batch
-    // contract (pinned by `batched_lanes_match_scalar_bitwise` below and
-    // by `tests/sparse_equivalence.rs` end to end).
-    #[inline]
-    fn observe4(states: &mut [&mut Self; 4], obs: &Observation) {
-        // Success slots change nothing (the scalar observe returns early).
-        if matches!(obs.feedback, Feedback::Success) {
-            return;
-        }
-        // Work on by-value lane copies: `LowSensing` is `Copy`, and a local
-        // array is provably alias-free, so everything below is branch-light
-        // elementwise arithmetic the auto-vectorizer can pack (through the
-        // `&mut` lanes, every store would pessimistically invalidate the
-        // other lanes' loads).
-        let mut lane = [*states[0], *states[1], *states[2], *states[3]];
-        // Divide-free window updates: each lane multiplies against its
-        // cached factor / reciprocal pair, exactly like the scalar
-        // `observe`.
-        let mut new_w = [0.0f64; 4];
-        match obs.feedback {
-            Feedback::Empty => {
-                for i in 0..4 {
-                    new_w[i] = (lane[i].w * lane[i].back_on_factor).max(lane[i].params.w_min());
-                }
-            }
-            Feedback::Noisy => {
-                for i in 0..4 {
-                    new_w[i] = lane[i].w * lane[i].back_off_factor;
-                }
-            }
-            Feedback::Success => unreachable!("handled above"),
-        }
-        let mut changed = [false; 4];
-        for i in 0..4 {
-            changed[i] = new_w[i] != lane[i].w;
-        }
-        if changed == [false; 4] {
-            // Every lane's back-on clamped at the floor: the scalar path
-            // skips the recompute entirely, and so do we — no
-            // transcendentals, no write-back (the common steady state once
-            // a batch has drained down to herds parked at w_min).
-            return;
-        }
-        // First 4-wide transcendental: ln of the new windows. A lane whose
-        // back-on clamped at the floor keeps its whole cache (the scalar
-        // path skips its recompute); its slot in `new_w` is the old
-        // window, a valid input whose result is simply discarded.
-        let ln_w4 = fast_ln4(new_w);
-        // The reciprocal-form recompute for every lane unconditionally (so
-        // the lanes pack — the divides vectorize to `divpd`); unchanged
-        // lanes discard the results below. Per-lane arithmetic is the
-        // scalar `recompute`'s bit for bit.
-        let mut factor = [0.0f64; 4];
-        let mut inv_factor = [0.0f64; 4];
-        let mut p_listen = [0.0f64; 4];
-        let mut p_send = [0.0f64; 4];
-        for i in 0..4 {
-            let c = lane[i].params.c();
-            let x = 1.0 / (c * ln_w4[i]);
-            factor[i] = 1.0 + x;
-            inv_factor[i] = 1.0 / factor[i];
-            p_listen[i] = lane[i].params.listen_probability_ln(new_w[i], ln_w4[i]);
-            p_send[i] = (x * x * x * (c * c)).min(1.0);
-        }
-        for i in 0..4 {
-            if changed[i] {
-                lane[i].w = new_w[i];
-                lane[i].back_off_factor = factor[i];
-                lane[i].back_on_factor = inv_factor[i];
-                lane[i].p_listen = p_listen[i];
-                lane[i].p_send_given_listen = p_send[i];
-            }
-        }
-        // Second 4-wide transcendental: ln(1 - p_listen) for lanes in
-        // `recompute`'s common branch; the dummy 0.5 keeps other lanes'
-        // inputs in the normal range, and their results are discarded.
-        let mut q = [0.5f64; 4];
-        for i in 0..4 {
-            let pl = lane[i].p_listen;
-            if changed[i] && (1e-8..1.0).contains(&pl) {
-                q[i] = 1.0 - pl;
-            }
-        }
-        let ln_q4 = fast_ln4(q);
-        for i in 0..4 {
-            if changed[i] {
-                let pl = lane[i].p_listen;
-                lane[i].inv_ln_q_listen = if pl <= 0.0 || pl >= 1.0 {
-                    0.0
-                } else if pl < 1e-8 {
-                    1.0 / (-pl).ln_1p()
-                } else {
-                    1.0 / ln_q4[i]
-                };
-            }
-            *states[i] = lane[i];
-        }
-    }
+    // No `observe4` override: the scalar `observe` is a level step plus a
+    // 3-value gather — straight-line integer/load work with nothing left to
+    // batch — so the trait's default (four scalar calls, trivially
+    // bit-identical) is already optimal. PR 5's hand-maintained 4-wide copy
+    // of the window recompute is gone with the recompute itself; the single
+    // source of the derived-row arithmetic is `ladder::derive`.
 
     #[inline]
-    // The negated guards reproduce the scalar `next_wake`'s exact branch
-    // structure, which the bit-identity contract of the batch pins.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn next_wake4(states: &mut [&mut Self; 4], rng: &mut SimRng) -> [Option<u64>; 4] {
         // Uniforms are drawn in ascending lane order, degenerate lanes
-        // drawing nothing — the scalar `next_wake`'s guard structure,
-        // which keeps the RNG stream identical to four scalar calls.
+        // drawing nothing, and the four `ln U` evaluations are 4-wide —
+        // `geometric4_inv` is bit-identical per lane to the scalar
+        // `next_wake`, which the batch contract requires.
         let p_listen = [
             states[0].p_listen,
             states[1].p_listen,
@@ -319,26 +239,7 @@ impl SparseProtocol for LowSensing {
             states[2].inv_ln_q_listen,
             states[3].inv_ln_q_listen,
         ];
-        let mut u = [1.0f64; 4];
-        let mut live = [false; 4];
-        for i in 0..4 {
-            if !(p_listen[i] >= 1.0) && !(p_listen[i] <= 0.0) {
-                u[i] = 1.0 - rng.f64();
-                live[i] = true;
-            }
-        }
-        let ln_u = fast_ln4(u);
-        let mut out = [None; 4];
-        for i in 0..4 {
-            out[i] = if live[i] {
-                Some(saturating_count(ln_u[i] * inv[i]))
-            } else if p_listen[i] >= 1.0 {
-                Some(0)
-            } else {
-                Some(u64::MAX)
-            };
-        }
-        out
+        geometric4_inv(rng, p_listen, inv).map(Some)
     }
 }
 
@@ -386,6 +287,22 @@ mod tests {
     }
 
     #[test]
+    fn back_on_exactly_inverts_back_off() {
+        // The quantization's defining property (the continuous update only
+        // round-tripped approximately): up-then-down restores the exact
+        // prior state, bit for bit.
+        let mut p = fresh();
+        for _ in 0..7 {
+            p.observe(&obs(Feedback::Noisy));
+        }
+        let before = p;
+        p.observe(&obs(Feedback::Noisy));
+        p.observe(&obs(Feedback::Empty));
+        assert_eq!(p, before);
+        assert_eq!(p.window().to_bits(), before.window().to_bits());
+    }
+
+    #[test]
     fn window_never_below_minimum() {
         let mut p = fresh();
         for _ in 0..50 {
@@ -393,6 +310,21 @@ mod tests {
             assert!(p.window() >= p.params().w_min());
         }
         assert_eq!(p.window(), p.params().w_min());
+    }
+
+    #[test]
+    fn window_saturates_at_the_ladder_top() {
+        let mut p = fresh();
+        let top = p.ladder().top_level();
+        for _ in 0..(top as u64 + 100) {
+            p.observe(&obs(Feedback::Noisy));
+        }
+        assert_eq!(p.level(), top);
+        let w_top = p.window();
+        p.observe(&obs(Feedback::Noisy));
+        assert_eq!(p.window(), w_top, "noise at the top rung is a no-op");
+        // The saturation rung is unobservable in any simulable horizon.
+        assert!(p.access_probability() <= 1e-21);
     }
 
     #[test]
@@ -463,12 +395,35 @@ mod tests {
     }
 
     #[test]
+    fn cached_row_values_track_the_ladder() {
+        // The inline cache must equal the current rung bit-for-bit after
+        // any walk.
+        let mut p = fresh();
+        let mut seq = SimRng::new(11);
+        for _ in 0..2_000 {
+            let fb = match seq.range_u64(3) {
+                0 => Feedback::Empty,
+                1 => Feedback::Noisy,
+                _ => Feedback::Success,
+            };
+            p.observe(&obs(fb));
+            let row = p.ladder().row(p.level());
+            assert_eq!(p.p_listen.to_bits(), row.p_listen.to_bits());
+            assert_eq!(
+                p.p_send_given_listen.to_bits(),
+                row.p_send_given_listen.to_bits()
+            );
+            assert_eq!(p.inv_ln_q_listen.to_bits(), row.inv_ln_q_listen.to_bits());
+        }
+    }
+
+    #[test]
     fn batched_lanes_match_scalar_bitwise() {
         // Long mixed feedback walks: after every batched observe4 +
         // next_wake4 round, all four lane states and delays must equal the
-        // scalar path's exactly (PartialEq on LowSensing compares every
-        // cached float). Clamped parameters (p_listen = 1 at small w)
-        // exercise the degenerate no-draw lanes.
+        // scalar path's exactly (PartialEq on LowSensing compares the level
+        // and every cached float). Clamped parameters (p_listen = 1 at
+        // small w) exercise the degenerate no-draw lanes.
         for params in [
             Params::default(),
             Params::new(1.0, 8.0).unwrap(),

@@ -6,6 +6,13 @@
 //! The gentleness of the factor — vanishing as `w` grows — is what lets the
 //! analysis charge each step against the `H(t)` potential term
 //! (Lemma 5.9: each listen moves `1/ln w` by `Θ(1/(c·ln³ w))`).
+//!
+//! These free functions are the *analytic reference form* of the rules
+//! (libm `ln`, plain divide), used by the potential/theory layers and
+//! tests. The protocol hot path does not call them per observation: it
+//! steps the precomputed [`ladder`](crate::ladder), whose rungs are built
+//! from the same update factors via the hot-path arithmetic
+//! (`fast_ln` + reciprocal multiply — see `ladder::derive`).
 
 use crate::params::Params;
 
@@ -102,10 +109,28 @@ mod tests {
         let params = p();
         // back_on(back_off(w)) ≈ w: the two factors differ only because the
         // window moved, an O(1/(c·ln w)) relative effect that shrinks as w
-        // grows.
+        // grows. This inexactness is exactly what the quantized ladder
+        // (crate::ladder) snaps away — there, the round trip is an identity
+        // by construction.
         for (w, tol) in [(100.0, 0.05), (1e4, 0.01), (1e8, 0.001)] {
             let round = back_on(&params, back_off(&params, w));
             assert!((round - w).abs() / w < tol, "w={w} round-trips to {round}");
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_track_the_reference_rules() {
+        // The ladder is built with the hot-path arithmetic (`fast_ln`,
+        // reciprocal multiplies); these free functions are the analytic
+        // reference (libm `ln`, divides). Consecutive rungs must agree with
+        // a reference back_off step to ~1 ulp of the factor — the two
+        // formulations describe the same update rule.
+        let params = p();
+        let ladder = crate::ladder::shared(params, params.w_min());
+        for pair in ladder.rows().windows(2) {
+            let reference = back_off(&params, pair[0].w);
+            let rel = ((pair[1].w - reference) / reference).abs();
+            assert!(rel < 1e-12, "rung {} vs reference {reference}", pair[1].w);
         }
     }
 

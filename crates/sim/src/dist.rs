@@ -214,6 +214,73 @@ pub fn geometric_fast(rng: &mut SimRng, p: f64) -> u64 {
     saturating_count(fast_ln(u) / ln_q_fast(p))
 }
 
+/// Geometric draw with the logarithm of `1-p` pre-inverted: the delay is
+/// `⌊fast_ln(U) · inv_ln_q⌋`, one inlined transcendental and one multiply.
+///
+/// This is the steady-state wake draw of the cached protocols: they keep
+/// `inv_ln_q = 1/ln(1-p)` alongside `p` (recomputed only when the state
+/// changes — for the ladder protocols, read straight from a table row) and
+/// pay neither the `ln(1-p)` nor the divide per draw. The guards mirror
+/// [`geometric_fast`]'s, and the degenerate cases (`p ≤ 0`, `p ≥ 1`) never
+/// read `inv_ln_q`, so callers may cache `0` there.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `p` is NaN.
+#[inline]
+pub fn geometric_inv(rng: &mut SimRng, p: f64, inv_ln_q: f64) -> u64 {
+    debug_assert!(!p.is_nan(), "geometric probability must not be NaN");
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    let u = 1.0 - rng.f64();
+    saturating_count(fast_ln(u) * inv_ln_q)
+}
+
+/// Four [`geometric_inv`] draws, 4-wide, bit-identical lane-for-lane to
+/// four sequential scalar calls.
+///
+/// RNG values are drawn **in ascending lane order** with degenerate lanes
+/// drawing nothing (the batched-wake contract); the uniforms' logarithms
+/// evaluate through [`fast_ln4`], whose per-lane arithmetic is the scalar
+/// [`fast_ln`]'s, so the sparse engine's 4-wide wake pass and the reference
+/// engine's scalar draws stay bit-equal.
+///
+/// # Panics
+///
+/// Panics (debug builds) if any `p` is NaN.
+#[inline]
+// The negated guards reproduce `geometric_inv`'s exact branch structure
+// (including where a contract-violating NaN would flow), which the
+// bit-identity contract of the batch pins.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn geometric4_inv(rng: &mut SimRng, p: [f64; 4], inv_ln_q: [f64; 4]) -> [u64; 4] {
+    let mut u = [1.0f64; 4];
+    let mut live = [false; 4];
+    for i in 0..4 {
+        debug_assert!(!p[i].is_nan(), "geometric probability must not be NaN");
+        if !(p[i] >= 1.0) && !(p[i] <= 0.0) {
+            u[i] = 1.0 - rng.f64();
+            live[i] = true;
+        }
+    }
+    let ln_u = fast_ln4(u);
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = if live[i] {
+            saturating_count(ln_u[i] * inv_ln_q[i])
+        } else if p[i] >= 1.0 {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    out
+}
+
 /// Four geometric draws at per-lane success probabilities, 4-wide.
 ///
 /// Consumes the RNG **in ascending lane order**, with degenerate lanes
@@ -750,6 +817,61 @@ mod tests {
                 assert_eq!(batch, scalar, "p={p:?}");
             }
             // Streams must be in lockstep afterwards too.
+            assert_eq!(a.next_u64(), b.next_u64(), "p={p:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_inv_matches_divide_form_statistically_and_guards() {
+        let mut rng = SimRng::new(40);
+        // Degenerate guards never read inv_ln_q (0 is the cached dummy).
+        assert_eq!(geometric_inv(&mut rng, 1.0, 0.0), 0);
+        assert_eq!(geometric_inv(&mut rng, 1.5, 0.0), 0);
+        assert_eq!(geometric_inv(&mut rng, 0.0, 0.0), u64::MAX);
+        assert_eq!(geometric_inv(&mut rng, -1.0, 0.0), u64::MAX);
+        let p = 0.2;
+        let inv = 1.0 / fast_ln(1.0 - p);
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| geometric_inv(&mut rng, p, inv) as f64)
+            .collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 20.0).abs() < 1.0, "var {var}");
+    }
+
+    #[test]
+    fn geometric4_inv_matches_scalar_bitwise() {
+        // Same seed ⇒ geometric4_inv must reproduce four sequential
+        // geometric_inv draws exactly, including degenerate lanes that
+        // consume no randomness.
+        let lane_sets: [[f64; 4]; 4] = [
+            [0.3, 0.3, 0.3, 0.3],
+            [0.9, 0.01, 1e-10, 0.5],
+            [1.0, 0.2, 0.0, 0.7],  // mixed degenerate / live
+            [0.0, 1.0, 2.0, -0.5], // all degenerate: no RNG consumed
+        ];
+        for p in lane_sets {
+            let inv = p.map(|pi| {
+                if pi <= 0.0 || pi >= 1.0 {
+                    0.0
+                } else if pi < 1e-8 {
+                    1.0 / (-pi).ln_1p()
+                } else {
+                    1.0 / fast_ln(1.0 - pi)
+                }
+            });
+            let mut a = SimRng::new(78);
+            let mut b = SimRng::new(78);
+            for _ in 0..5_000 {
+                let batch = geometric4_inv(&mut a, p, inv);
+                let scalar = [
+                    geometric_inv(&mut b, p[0], inv[0]),
+                    geometric_inv(&mut b, p[1], inv[1]),
+                    geometric_inv(&mut b, p[2], inv[2]),
+                    geometric_inv(&mut b, p[3], inv[3]),
+                ];
+                assert_eq!(batch, scalar, "p={p:?}");
+            }
             assert_eq!(a.next_u64(), b.next_u64(), "p={p:?}");
         }
     }

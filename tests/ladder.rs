@@ -1,0 +1,235 @@
+//! Pins the quantized window ladder to the arithmetic it replaced.
+//!
+//! The ladder (PR 6) precomputes per-rung what `LowSensing::recompute`
+//! (PR 5) evaluated on the fly after every window change. These tests write
+//! that reciprocal-form recompute out **literally, inline** — not by calling
+//! `ladder::derive`, which would pin the ladder to itself — and require
+//! every reachable rung of every registry ladder to match it bit for bit.
+//! Boundary rungs (the `w_min` clamp at the bottom, saturation at the top)
+//! and the continuous back-off/back-on orbits get dedicated checks.
+
+use lowsense::{Ladder, LowSensing, Params};
+use lowsense_sim::dist::fast_ln;
+use lowsense_sim::feedback::{Feedback, Observation};
+use lowsense_sim::protocol::Protocol;
+use proptest::prelude::*;
+
+/// The PR 5 on-the-fly recompute, transcribed from the pre-ladder
+/// `LowSensing::recompute` body: one `fast_ln` of the window, the shared
+/// reciprocal `x = 1/(c·ln w)`, listen probability in the direct form,
+/// send-given-listen as pure multiplies (`1/(c·ln³w) = x³·c²`), and the
+/// three-way guarded wake reciprocal. Returns
+/// `(p_listen, p_send_given_listen, inv_ln_q_listen)`.
+fn pr5_recompute(c: f64, w: f64) -> (f64, f64, f64) {
+    let ln_w = fast_ln(w);
+    let x = 1.0 / (c * ln_w);
+    let p_listen = (c * ln_w.powi(3) / w).min(1.0);
+    let p_send_given_listen = (x * x * x * (c * c)).min(1.0);
+    let inv_ln_q_listen = if p_listen <= 0.0 || p_listen >= 1.0 {
+        0.0
+    } else if p_listen < 1e-8 {
+        1.0 / (-p_listen).ln_1p()
+    } else {
+        1.0 / fast_ln(1.0 - p_listen)
+    };
+    (p_listen, p_send_given_listen, inv_ln_q_listen)
+}
+
+/// The PR 5 update factor `1 + 1/(c·ln w)` for the window at `w`.
+fn pr5_factor(c: f64, w: f64) -> f64 {
+    1.0 + 1.0 / (c * fast_ln(w))
+}
+
+fn assert_ladder_matches_pr5(params: Params, anchor: f64) {
+    let ladder = Ladder::build(params, anchor);
+    let c = params.c();
+    assert!(
+        ladder.saturated(),
+        "ladder for c={c}, w_min={}, anchor={anchor} hit the rung cap \
+         instead of the listen-probability floor",
+        params.w_min()
+    );
+    for (lvl, row) in ladder.rows().iter().enumerate() {
+        let (p_listen, p_send, inv_ln_q) = pr5_recompute(c, row.w);
+        assert_eq!(
+            row.p_listen.to_bits(),
+            p_listen.to_bits(),
+            "p_listen at rung {lvl} (w={})",
+            row.w
+        );
+        assert_eq!(
+            row.p_send_given_listen.to_bits(),
+            p_send.to_bits(),
+            "p_send_given_listen at rung {lvl} (w={})",
+            row.w
+        );
+        assert_eq!(
+            row.inv_ln_q_listen.to_bits(),
+            inv_ln_q.to_bits(),
+            "inv_ln_q_listen at rung {lvl} (w={})",
+            row.w
+        );
+        // Rung geometry against the PR 5 factors — each orbit checked on
+        // its own side of the anchor, because that is where the ladder
+        // promises continuity. Above the anchor, rungs are the continuous
+        // back-off orbit; below it, the continuous (reciprocal-multiply,
+        // floor-clamped) back-on orbit. Cross-orbit steps are the
+        // quantization itself and intentionally differ in the last bits.
+        let lvl = lvl as u32;
+        if lvl >= ladder.anchor_level() && lvl < ladder.top_level() {
+            let up = ladder.row(lvl + 1).w;
+            assert_eq!(
+                up.to_bits(),
+                (row.w * pr5_factor(c, row.w)).to_bits(),
+                "back-off step at rung {lvl}"
+            );
+        }
+        if lvl < ladder.anchor_level() {
+            let up = ladder.row(lvl + 1).w;
+            let back_on = 1.0 / pr5_factor(c, up);
+            assert_eq!(
+                (up * back_on).max(params.w_min()).to_bits(),
+                row.w.to_bits(),
+                "back-on step at rung {}",
+                lvl + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_ladders_match_the_pr5_recompute_bitwise() {
+    // The parameter sets the repo's suites exercise, each at the fresh
+    // anchor and at the large anchors the equivalence tests use.
+    let registry = [
+        (Params::default(), 4.0),
+        (Params::default(), 64.0),
+        (Params::default(), 1e6),
+        (Params::default(), 5e7),
+        (Params::new(1.0, 8.0).unwrap(), 8.0),
+        (Params::new(1.0, 8.0).unwrap(), 300.0),
+        (Params::new(2.0, 4.0).unwrap(), 4.0),
+    ];
+    for (params, anchor) in registry {
+        assert_ladder_matches_pr5(params, anchor);
+    }
+}
+
+#[test]
+fn bottom_rung_is_the_w_min_clamp() {
+    // Rung 0 must be *exactly* `w_min` — not one back-on step that happens
+    // to land near it — because the clamp `max(w/f, w_min)` produced it.
+    for (params, anchor) in [
+        (Params::default(), 4.0),
+        (Params::default(), 1e5),
+        (Params::new(1.0, 8.0).unwrap(), 8_000.0),
+    ] {
+        let ladder = Ladder::build(params, anchor);
+        assert_eq!(ladder.row(0).w.to_bits(), params.w_min().to_bits());
+        // And its derived row is the recompute *at* w_min, i.e. the state a
+        // freshly injected packet carries.
+        let (p_listen, p_send, inv_ln_q) = pr5_recompute(params.c(), params.w_min());
+        assert_eq!(ladder.row(0).p_listen.to_bits(), p_listen.to_bits());
+        assert_eq!(
+            ladder.row(0).p_send_given_listen.to_bits(),
+            p_send.to_bits()
+        );
+        assert_eq!(ladder.row(0).inv_ln_q_listen.to_bits(), inv_ln_q.to_bits());
+    }
+}
+
+#[test]
+fn saturation_rung_is_terminal_and_unobservable() {
+    let params = Params::default();
+    let ladder = Ladder::build(params, 4.0);
+    let top = ladder.row(ladder.top_level());
+    // Ascent stopped because listening became unobservable on any simulable
+    // horizon: the mean wake gap 1/p_listen exceeds u64::MAX slots.
+    assert!(ladder.saturated());
+    assert!(1.0 / top.p_listen > u64::MAX as f64);
+    // One rung down is still live — the ladder is minimal.
+    assert!(1.0 / ladder.row(ladder.top_level() - 1).p_listen <= 1e21);
+    // A packet parked on the top rung stays there under noise (bitwise
+    // fixed point), and comes back down under silence.
+    let mut p = LowSensing::new(params);
+    while p.level() < ladder.top_level() {
+        p.observe(&obs(Feedback::Noisy));
+    }
+    let parked = p;
+    p.observe(&obs(Feedback::Noisy));
+    assert!(p == parked, "noise at the top rung must be a no-op");
+    p.observe(&obs(Feedback::Empty));
+    assert_eq!(p.level(), ladder.top_level() - 1);
+}
+
+#[test]
+fn anchors_are_exact_rungs() {
+    // `with_window` must report exactly the requested window (the
+    // tolerance tests in sparse_equivalence.rs compare send rates against
+    // 1/w of these anchors).
+    for anchor in [64.0, 1e6, 5e7] {
+        let p = LowSensing::with_window(Params::default(), anchor);
+        assert_eq!(p.window().to_bits(), anchor.to_bits());
+    }
+}
+
+fn obs(feedback: Feedback) -> Observation {
+    Observation {
+        slot: 0,
+        feedback,
+        sent: false,
+        succeeded: false,
+    }
+}
+
+#[test]
+fn pure_backoff_trajectory_is_bitwise_continuous() {
+    // A trajectory that only backs off (all-noise) never revisits a rung,
+    // so quantization cannot bind: the protocol must report the exact
+    // windows the continuous PR 5 update would have produced.
+    let params = Params::default();
+    let mut p = LowSensing::new(params);
+    let mut w = params.w_min();
+    for step in 0..200 {
+        p.observe(&obs(Feedback::Noisy));
+        w *= pr5_factor(params.c(), w);
+        assert_eq!(p.window().to_bits(), w.to_bits(), "step {step}");
+    }
+}
+
+#[test]
+fn pure_backon_trajectory_is_bitwise_continuous() {
+    // Symmetric check from a high anchor: all-silence descent follows the
+    // continuous floor-clamped divide until it parks on w_min.
+    let params = Params::default();
+    let mut p = LowSensing::with_window(params, 1e6);
+    let mut w = 1e6;
+    let mut step = 0;
+    while w > params.w_min() {
+        p.observe(&obs(Feedback::Empty));
+        w = (w * (1.0 / pr5_factor(params.c(), w))).max(params.w_min());
+        assert_eq!(p.window().to_bits(), w.to_bits(), "step {step}");
+        step += 1;
+    }
+    // Parked on the floor: further silence is a bitwise no-op.
+    let parked = p;
+    p.observe(&obs(Feedback::Empty));
+    assert!(p == parked);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every rung of every ladder in the sampled parameter space carries
+    /// bit-exactly the values the PR 5 recompute produced for that window.
+    #[test]
+    fn ladders_match_the_pr5_recompute_across_param_space(
+        c in 0.4f64..3.0,
+        w_min in 4.0f64..64.0,
+        anchor_mult in 1.0f64..1e4,
+    ) {
+        prop_assume!(c * w_min.ln().powi(3) >= 1.0);
+        let params = Params::new(c, w_min).unwrap();
+        assert_ladder_matches_pr5(params, w_min * anchor_mult);
+    }
+}
