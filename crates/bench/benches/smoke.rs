@@ -8,20 +8,27 @@
 //! `BENCH_engine.json` (at the workspace root) with slots-per-second and
 //! accesses-per-second figures, so successive PRs have a perf trajectory
 //! to compare against. Schema 3 added a `campaign` section timing the tiny
-//! face-off sweep (cells per second on the shard pool); schema 4 adds a
+//! face-off sweep (cells per second on the shard pool); schema 4 added a
 //! `phases` section with the instrumented-loop cycle profile (see the
 //! `phases` bench — same profiler, embedded here so CI can gate on
-//! `cyc_per_access` and the per-phase shares):
+//! `cyc_per_access` and the per-phase shares); schema 5 adds the
+//! million-station capacity tier `sparse_lsb_1M` (n = 10^6 batch-injected,
+//! short horizon) and a `capacity` section with its measured
+//! bytes-per-station budget — engine overhead only (wake wheel + table
+//! bookkeeping lanes), with protocol state reported separately:
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/4",
+//!   "schema": "lowsense-bench-engine/5",
 //!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
 //!                            "accesses": A, "accesses_per_sec": Q } },
 //!   "campaign": { "<name>": { "cells": C, "runs": U, "seconds": S,
 //!                             "cells_per_sec": R } },
 //!   "phases": { "<name>": { "accesses": A, "cyc_per_access": X,
-//!                           "shares": { "<slug>": F, ... } } }
+//!                           "shares": { "<slug>": F, ... } } },
+//!   "capacity": { "<name>": { "stations": N, "horizon": H,
+//!                             "engine_bytes": B, "state_bytes": SB,
+//!                             "bytes_per_station": X, "samples": K } }
 //! }
 //! ```
 //!
@@ -38,12 +45,19 @@ use std::time::Instant;
 
 use lowsense::{LowSensing, Params};
 use lowsense_baselines::{CjpConfig, CjpMwu};
-use lowsense_bench::profile::{profile_sparse_smoke, PHASES};
+use lowsense_bench::profile::{profile_sparse_capacity, profile_sparse_smoke, PHASES};
 use lowsense_experiments::campaigns;
 use lowsense_sim::metrics::RunResult;
 use lowsense_sim::scenario::scenarios;
 
 const REPS: u64 = 5;
+/// The capacity tier: a million stations batch-injected, horizon capped so
+/// the smoke target stays a smoke target (the wheel makes the horizon
+/// cheap; station count is what this tier stresses).
+const CAP_STATIONS: u64 = 1_000_000;
+const CAP_HORIZON: u64 = 100_000;
+/// Fewer reps at capacity scale — one warm-up plus two measured seeds.
+const CAP_REPS: u64 = 2;
 // Benches run with CWD = the package dir; anchor the report at the
 // workspace root so its location does not depend on how cargo was invoked.
 const OUT_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -65,15 +79,15 @@ impl Sample {
     }
 }
 
-/// Times `REPS` runs of `run`, counting simulated (active) slots and
+/// Times `reps` runs of `run`, counting simulated (active) slots and
 /// channel accesses (sends + listens, the engines' real unit of work).
-fn measure(name: &'static str, mut run: impl FnMut(u64) -> RunResult) -> Sample {
+fn measure_reps(name: &'static str, reps: u64, mut run: impl FnMut(u64) -> RunResult) -> Sample {
     // Warm-up run; result intentionally discarded.
     let _ = run(0);
     let start = Instant::now();
     let mut slots = 0u64;
     let mut accesses = 0u64;
-    for seed in 1..=REPS {
+    for seed in 1..=reps {
         let totals = run(seed).totals;
         slots += totals.active_slots;
         accesses += totals.accesses();
@@ -84,6 +98,11 @@ fn measure(name: &'static str, mut run: impl FnMut(u64) -> RunResult) -> Sample 
         accesses,
         seconds: start.elapsed().as_secs_f64(),
     }
+}
+
+/// [`measure_reps`] at the standard `REPS`.
+fn measure(name: &'static str, run: impl FnMut(u64) -> RunResult) -> Sample {
+    measure_reps(name, REPS, run)
 }
 
 fn main() {
@@ -124,6 +143,16 @@ fn main() {
                 .seeded(seed)
                 .run_sparse_reference(|_| LowSensing::new(Params::default()))
         }),
+        // The capacity tier: 10^6 stations on the hierarchical wheel, horizon
+        // capped. Stresses station count (queue fill, table lanes, cascade
+        // traffic), not horizon length.
+        measure_reps("sparse_lsb_1M", CAP_REPS, |seed| {
+            scenarios::batch_drain(CAP_STATIONS)
+                .totals_only()
+                .until_slot(CAP_HORIZON)
+                .seeded(seed)
+                .run_sparse(|_| LowSensing::new(Params::default()))
+        }),
         measure("grouped_cjp_4096", |seed| {
             scenarios::batch_drain(4096)
                 .totals_only()
@@ -153,8 +182,18 @@ fn main() {
     // every rep).
     let phase_profile = profile_sparse_smoke(16_384, 5);
 
+    // The capacity tier's phase profile and memory budget, from the same
+    // instrumented replica with the periodic memory probe attached (one
+    // seed, validated against run_sparse on the capped scenario).
+    let (cap_profile, cap_probe) = profile_sparse_capacity(CAP_STATIONS, CAP_HORIZON, 1);
+    assert!(
+        cap_probe.peak_live >= CAP_STATIONS / 2,
+        "capacity probe sampled only {} live stations",
+        cap_probe.peak_live
+    );
+
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/4\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/5\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
@@ -175,20 +214,37 @@ fn main() {
         campaign_cells, campaign_runs, campaign_seconds, cells_per_sec
     ));
     json.push_str("  },\n  \"phases\": {\n");
+    let push_phases =
+        |json: &mut String, name: &str, p: &lowsense_bench::profile::SmokeProfile, sep: &str| {
+            json.push_str(&format!(
+                "    \"{name}\": {{ \"accesses\": {}, \"cyc_per_access\": {:.2}, \"shares\": {{ ",
+                p.accesses,
+                p.cyc_per_access()
+            ));
+            for (i, phase) in PHASES.iter().enumerate() {
+                let sep = if i + 1 == PHASES.len() { "" } else { ", " };
+                json.push_str(&format!(
+                    "\"{}\": {:.4}{sep}",
+                    phase.slug,
+                    p.profile.share(i)
+                ));
+            }
+            json.push_str(&format!(" }} }}{sep}\n"));
+        };
+    push_phases(&mut json, "sparse_lsb_16384", &phase_profile, ",");
+    push_phases(&mut json, "sparse_lsb_1M", &cap_profile, "");
+    json.push_str("  },\n  \"capacity\": {\n");
     json.push_str(&format!(
-        "    \"sparse_lsb_16384\": {{ \"accesses\": {}, \"cyc_per_access\": {:.2}, \"shares\": {{ ",
-        phase_profile.accesses,
-        phase_profile.cyc_per_access()
+        "    \"sparse_lsb_1M\": {{ \"stations\": {}, \"horizon\": {}, \"engine_bytes\": {}, \
+         \"state_bytes\": {}, \"bytes_per_station\": {:.2}, \"samples\": {} }}\n",
+        cap_probe.peak_live,
+        CAP_HORIZON,
+        cap_probe.peak_engine_bytes,
+        cap_probe.peak_state_bytes,
+        cap_probe.bytes_per_station(),
+        cap_probe.samples
     ));
-    for (i, phase) in PHASES.iter().enumerate() {
-        let sep = if i + 1 == PHASES.len() { "" } else { ", " };
-        json.push_str(&format!(
-            "\"{}\": {:.4}{sep}",
-            phase.slug,
-            phase_profile.profile.share(i)
-        ));
-    }
-    json.push_str(" } }\n  }\n}\n");
+    json.push_str("  }\n}\n");
 
     for s in &samples {
         println!(
@@ -211,6 +267,14 @@ fn main() {
         phase_profile.cyc_per_access(),
         100.0 * phase_profile.profile.share(5),
         100.0 * phase_profile.profile.share(6),
+    );
+    println!(
+        "smoke: {:<28} {:>12} accesses  ({:.1} cyc/access; {:.1} engine B/station, {:.1} state B/station)",
+        "capacity_sparse_lsb_1M",
+        cap_profile.accesses,
+        cap_profile.cyc_per_access(),
+        cap_probe.bytes_per_station(),
+        cap_probe.peak_state_bytes as f64 / cap_probe.peak_live.max(1) as f64,
     );
     let mut f = std::fs::File::create(OUT_FILE).expect("create BENCH_engine.json");
     f.write_all(json.as_bytes())

@@ -10,11 +10,18 @@
 //! Phase timestamps cost ~8 cycles each (`rdtsc`) and are placed per slot
 //! or per 4-listener cohort, a few percent of the loop; treat the shares as
 //! accurate to a point or two.
+//!
+//! The replica is also where the capacity tier's memory budget is measured:
+//! a [`CapacityProbe`] passed to [`run_profiled`] samples the wake wheel's
+//! footprint and the packet table's bookkeeping lanes every 1024 event
+//! slots, yielding the peak engine-overhead bytes per live station that the
+//! million-station tier budgets (protocol state is reported separately —
+//! its size belongs to the protocol, not the engine).
 
 use lowsense::{LowSensing, Params};
 use lowsense_sim::arrivals::{ArrivalProcess, Batch};
-use lowsense_sim::config::SimConfig;
-use lowsense_sim::engine::{EngineCore, PacketTable, WakeQueue};
+use lowsense_sim::config::{Limits, SimConfig};
+use lowsense_sim::engine::{Dense, EngineCore, PacketTable, WakeQueue};
 use lowsense_sim::feedback::{Observation, SlotOutcome};
 use lowsense_sim::hooks::{Hooks, NoHooks};
 use lowsense_sim::jamming::{Jammer, NoJam};
@@ -138,14 +145,53 @@ impl SmokeProfile {
     }
 }
 
+/// Peak memory observed by [`run_profiled`]'s periodic sampling.
+///
+/// "Engine overhead" is the wake wheel's resident footprint plus the packet
+/// table's bookkeeping lanes (ids + remap) — everything the engine spends
+/// *per station* beyond the protocol state itself. The protocol-state lane
+/// is tracked separately: its size is the protocol's contract
+/// (`LowSensing` alone is 64 B), not the engine's.
+#[derive(Default)]
+pub struct CapacityProbe {
+    /// Peak bytes across the wake wheel and the table's id/remap lanes.
+    pub peak_engine_bytes: usize,
+    /// Peak bytes in the protocol-state lane.
+    pub peak_state_bytes: usize,
+    /// Largest live-station count seen at any sample point.
+    pub peak_live: u64,
+    /// Number of samples taken (one per 1024 event slots).
+    pub samples: u64,
+}
+
+impl CapacityProbe {
+    fn sample<P>(&mut self, queue: &WakeQueue, packets: &PacketTable<P>, live: u64) {
+        let engine = queue.footprint_bytes() + packets.lane_bytes();
+        self.peak_engine_bytes = self.peak_engine_bytes.max(engine);
+        self.peak_state_bytes = self.peak_state_bytes.max(packets.state_bytes());
+        self.peak_live = self.peak_live.max(live);
+        self.samples += 1;
+    }
+
+    /// Peak engine-overhead bytes per peak live station — the figure the
+    /// million-station tier's ≤ 64 B/station budget is checked against.
+    pub fn bytes_per_station(&self) -> f64 {
+        self.peak_engine_bytes as f64 / self.peak_live.max(1) as f64
+    }
+}
+
 /// `run_sparse` for `LowSensing`/`NoJam`/`NoHooks` (the smoke workload),
 /// statement-for-statement, with phase timestamps. Inert hooks only: the
 /// clone-elision branch is the one the benchmark exercises.
+///
+/// When `probe` is given, engine memory is sampled once per 1024 event
+/// slots (a cold path on 0.1% of slots; the phase shares are unaffected).
 pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
     cfg: &SimConfig,
     arrivals: A,
     jammer: J,
     profile: &mut Profile,
+    mut probe: Option<&mut CapacityProbe>,
 ) -> RunResult {
     type P = LowSensing;
     let factory = |_: &mut SimRng| LowSensing::new(Params::default());
@@ -159,6 +205,9 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
     let mut participants: Vec<u32> = Vec::new();
     let mut senders: Vec<PacketId> = Vec::new();
     let mut listeners: Vec<PacketId> = Vec::new();
+    let mut senders_at: Vec<Dense> = Vec::new();
+    let mut listeners_at: Vec<Dense> = Vec::new();
+    let mut event_slots: u64 = 0;
     let mut now: Slot = 0;
 
     let mut t0 = tsc();
@@ -218,6 +267,15 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
         let t2 = tsc();
         profile.add(1, t1, t2);
 
+        // Capacity sampling sits right after injection — the instant the
+        // queue and table are fullest on a batch workload.
+        event_slots += 1;
+        if event_slots % 1024 == 1 {
+            if let Some(p) = probe.as_deref_mut() {
+                p.sample(&queue, &packets, active_count);
+            }
+        }
+
         participants.clear();
         queue.take(te, &mut participants);
         let t3 = tsc();
@@ -239,12 +297,17 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
 
         senders.clear();
         listeners.clear();
+        senders_at.clear();
+        listeners_at.clear();
         for &id in &participants {
-            let p = packets.state_mut(PacketId(id));
+            let d = packets.resolve(PacketId(id));
+            let p = packets.state_at_mut(d);
             if p.send_on_access(&mut core.rng) {
                 senders.push(PacketId(id));
+                senders_at.push(d);
             } else {
                 listeners.push(PacketId(id));
+                listeners_at.push(d);
             }
         }
         let t4 = tsc();
@@ -264,8 +327,9 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
         profile.add(4, t4, tp);
 
         let mut quads = listeners.chunks_exact(4);
-        for quad in quads.by_ref() {
-            let mut lanes = packets.lanes4([quad[0], quad[1], quad[2], quad[3]]);
+        let mut quads_at = listeners_at.chunks_exact(4);
+        for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
+            let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
             let before_sp = [
                 lanes[0].send_probability(),
                 lanes[1].send_probability(),
@@ -290,9 +354,9 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
             tp = tsc();
             profile.add(7, tr, tp);
         }
-        for &id in quads.remainder() {
+        for (&id, &d) in quads.remainder().iter().zip(quads_at.remainder()) {
             core.metrics.note_listen(id);
-            let p = packets.state_mut(id);
+            let p = packets.state_at_mut(d);
             let before_sp = p.send_probability();
             p.observe(&obs);
             contention += p.send_probability() - before_sp;
@@ -313,7 +377,7 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
             SlotOutcome::Success { id } => Some(id),
             _ => None,
         };
-        for &id in &senders {
+        for (&id, &d) in senders.iter().zip(&senders_at) {
             core.metrics.note_send(id);
             let succeeded = winner == Some(id);
             let obs = Observation {
@@ -322,7 +386,7 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
                 sent: true,
                 succeeded,
             };
-            let p = packets.state_mut(id);
+            let p = packets.state_at_mut(d);
             let before_sp = p.send_probability();
             p.observe(&obs);
             contention += p.send_probability() - before_sp;
@@ -372,10 +436,11 @@ pub fn profile_sparse_smoke(packets: u64, reps: u64) -> SmokeProfile {
         Batch::new(packets),
         NoJam,
         &mut Profile::default(),
+        None,
     );
     for seed in 1..=reps {
         let cfg = SimConfig::new(seed).metrics(MetricsConfig::totals_only());
-        let r = run_profiled(&cfg, Batch::new(packets), NoJam, &mut profile);
+        let r = run_profiled(&cfg, Batch::new(packets), NoJam, &mut profile, None);
         accesses += r.totals.accesses();
 
         // Keep the replica honest: it must reproduce the real engine.
@@ -393,4 +458,56 @@ pub fn profile_sparse_smoke(packets: u64, reps: u64) -> SmokeProfile {
         accesses,
         reps,
     }
+}
+
+/// Profiles the million-station capacity workload: `stations` stations
+/// batch-injected at slot 0, horizon capped at `until_slot`, `reps`
+/// measured seeds (no warm-up — at this scale one rep amortizes its own
+/// cache warming). Returns the phase profile plus the [`CapacityProbe`]
+/// peaks sampled across all reps.
+///
+/// # Panics
+///
+/// Panics if the instrumented replica's totals ever diverge from the real
+/// `run_sparse` on the same capped scenario.
+pub fn profile_sparse_capacity(
+    stations: u64,
+    until_slot: Slot,
+    reps: u64,
+) -> (SmokeProfile, CapacityProbe) {
+    let mut profile = Profile::default();
+    let mut probe = CapacityProbe::default();
+    let mut accesses = 0u64;
+    for seed in 1..=reps {
+        let cfg = SimConfig::new(seed)
+            .metrics(MetricsConfig::totals_only())
+            .limits(Limits::until_slot(until_slot));
+        let r = run_profiled(
+            &cfg,
+            Batch::new(stations),
+            NoJam,
+            &mut profile,
+            Some(&mut probe),
+        );
+        accesses += r.totals.accesses();
+
+        // Keep the replica honest at capacity scale too.
+        let real = scenarios::batch_drain(stations)
+            .totals_only()
+            .until_slot(until_slot)
+            .seeded(seed)
+            .run_sparse(|_| LowSensing::new(Params::default()));
+        assert_eq!(
+            r.totals, real.totals,
+            "instrumented replica diverged from run_sparse (capacity seed {seed})"
+        );
+    }
+    (
+        SmokeProfile {
+            profile,
+            accesses,
+            reps,
+        },
+        probe,
+    )
 }

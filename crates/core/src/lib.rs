@@ -73,7 +73,7 @@ pub use protocol::LowSensing;
 /// let r = scenarios::batch_drain(32).run_sparse(lowsense::lsb());
 /// assert!(r.drained());
 /// ```
-pub fn lsb() -> impl FnMut(&mut lowsense_sim::rng::SimRng) -> LowSensing {
+pub fn lsb() -> impl FnMut(&mut lowsense_sim::rng::SimRng) -> LowSensing + Clone {
     |_| LowSensing::new(Params::default())
 }
 

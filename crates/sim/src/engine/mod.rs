@@ -9,13 +9,18 @@
 //! * [`dense`] — slot-by-slot reference engine, `O(packets)` per slot. The
 //!   oracle the others are validated against.
 //! * [`sparse`] — event-driven engine for [`SparseProtocol`] implementations:
-//!   a calendar-queue wake set ([`wake`]) makes a channel access `O(1)`
-//!   amortized, per-packet state lives in an epoch-compacted dense table
-//!   ([`table`]), and silent slots are skipped exactly. Slots are processed
-//!   in insertion order — no per-slot sort.
+//!   a hierarchical timing-wheel wake set ([`wake`]) makes a channel access
+//!   `O(1)` amortized out to million-station horizons, per-packet state
+//!   lives in an epoch-compacted dense table ([`table`]) split into
+//!   per-field lanes, and silent slots are skipped exactly. Slots are
+//!   processed in insertion order — no per-slot sort.
 //! * [`sparse_reference`] — the retained heap-based sparse loop, keyed
 //!   `(slot, insertion_seq)`; the bit-for-bit equivalence oracle for
 //!   [`sparse`].
+//! * [`wake_flat`] — the retained flat calendar ring (the PR 2–6 production
+//!   wake set), now a second oracle: [`sparse::run_sparse_flat`] runs the
+//!   *same* generic sparse loop over it, so the wheel is pinned against a
+//!   structurally different queue as well as a different loop.
 //! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
 //!   listen every slot, `O(groups)` per slot.
 //!
@@ -33,11 +38,13 @@ pub mod sparse;
 pub mod sparse_reference;
 pub mod table;
 pub mod wake;
+pub mod wake_flat;
 
 pub use self::core::EngineCore;
 pub use dense::run_dense;
 pub use grouped::{run_grouped, SymmetricProtocol};
-pub use sparse::run_sparse;
+pub use sparse::{run_sparse, run_sparse_flat};
 pub use sparse_reference::run_sparse_reference;
-pub use table::PacketTable;
+pub use table::{Dense, PacketTable};
 pub use wake::WakeQueue;
+pub use wake_flat::FlatWakeQueue;

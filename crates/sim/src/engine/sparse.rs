@@ -6,9 +6,10 @@
 //! would-be listener, so they are accounted in bulk (`O(1)` per gap, with
 //! jam counts drawn from the jammer's range sampler) instead of simulated.
 //!
-//! Scheduling runs on the calendar-queue [`WakeQueue`](crate::engine::wake)
-//! rather than a binary heap, so a channel access costs `O(1)` amortized
-//! bookkeeping instead of `O(log n)` scattered heap traffic; per-packet
+//! Scheduling runs on the hierarchical timing-wheel
+//! [`WakeQueue`](crate::engine::wake) rather than a binary heap, so a
+//! channel access costs `O(1)` amortized bookkeeping instead of `O(log n)`
+//! scattered heap traffic even at million-station horizons; per-packet
 //! state lives in the epoch-compacted
 //! [`PacketTable`], which keeps the live
 //! population dense in memory as the run drains; and the listener loop runs
@@ -17,6 +18,17 @@
 //! which evaluates the per-listen transcendentals SIMD-wide (see
 //! `BENCH_engine.json`, which records this engine and the reference on a
 //! bit-identical workload).
+//!
+//! The loop body is generic over the wake set (the `WakeSet` trait): the
+//! production entry point [`run_sparse`] instantiates it with the wheel,
+//! while [`run_sparse_flat`] runs the *same* body over the retained flat
+//! calendar ring ([`FlatWakeQueue`](crate::engine::wake_flat)) — a second,
+//! structurally different oracle used by the three-way equivalence tests.
+//! Within a slot, the split pass resolves each participant's id → dense
+//! index **once** into a [`Dense`] handle; the observe/wake passes then
+//! touch only the hot state lane (see [`table`](crate::engine::table)),
+//! never re-reading the remap. Handles never span a compaction: the engine
+//! compacts only at end-of-slot, after a depart.
 //!
 //! Within one slot, packets are processed in **insertion order** — the
 //! order their wake events were scheduled — which the calendar queue hands
@@ -38,8 +50,9 @@
 use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::engine::core::EngineCore;
-use crate::engine::table::PacketTable;
-use crate::engine::wake::{cap_scratch, WakeQueue, SCRATCH_CAP};
+use crate::engine::table::{Dense, PacketTable};
+use crate::engine::wake::{cap_scratch, WakeQueue, WakeSet, SCRATCH_CAP};
+use crate::engine::wake_flat::FlatWakeQueue;
 use crate::feedback::{Observation, SlotOutcome};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
@@ -90,7 +103,7 @@ pub fn run_sparse<P, F, A, J, H>(
     cfg: &SimConfig,
     arrivals: A,
     jammer: J,
-    mut factory: F,
+    factory: F,
     hooks: &mut H,
 ) -> RunResult
 where
@@ -100,6 +113,54 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
+    run_sparse_with::<P, F, A, J, H, WakeQueue>(cfg, arrivals, jammer, factory, hooks)
+}
+
+/// [`run_sparse`], but scheduling on the retained flat calendar ring
+/// ([`crate::engine::wake_flat::FlatWakeQueue`]) instead of
+/// the hierarchical wheel.
+///
+/// Same generic loop body, different wake set: this is a *validation*
+/// entry point, the second oracle of the three-way equivalence suite
+/// (wheel vs flat ring vs heap reference, all bit-identical). Benchmarks
+/// and production callers should use [`run_sparse`]; the flat ring's far
+/// heap degrades on the long-gap workloads the wheel exists for.
+pub fn run_sparse_flat<P, F, A, J, H>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    H: Hooks<P>,
+{
+    run_sparse_with::<P, F, A, J, H, FlatWakeQueue>(cfg, arrivals, jammer, factory, hooks)
+}
+
+/// The sparse loop body, generic over the wake set. Every ordering-visible
+/// statement is shared by both instantiations, so agreement between
+/// [`run_sparse`] and [`run_sparse_flat`] pins exactly the queues' drain
+/// orders against each other.
+fn run_sparse_with<P, F, A, J, H, Q>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    mut factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    H: Hooks<P>,
+    Q: WakeSet,
+{
     let mut core = EngineCore::new(cfg, arrivals, jammer);
 
     // Epoch-compacted packet table: live states stay dense in memory as
@@ -107,13 +168,18 @@ where
     // valid for the queue, hooks, metrics, and traces throughout.
     let mut packets: PacketTable<P> = PacketTable::new();
     // Each live packet has exactly one scheduled access event in the queue.
-    let mut queue = WakeQueue::new();
+    let mut queue = Q::new();
     let mut active_count: u64 = 0;
     let mut contention = 0.0f64;
 
     let mut participants: Vec<u32> = Vec::new();
     let mut senders: Vec<PacketId> = Vec::new();
     let mut listeners: Vec<PacketId> = Vec::new();
+    // Resolved dense handles, parallel to `senders` / `listeners`: the id →
+    // index remap is paid once here in the split pass, and the observe and
+    // wake passes below index the hot state lane directly.
+    let mut senders_at: Vec<Dense> = Vec::new();
+    let mut listeners_at: Vec<Dense> = Vec::new();
 
     // First slot not yet accounted.
     let mut now: Slot = 0;
@@ -214,15 +280,23 @@ where
             continue;
         }
 
-        // Split participants into senders and pure listeners.
+        // Split participants into senders and pure listeners, resolving
+        // each packet's dense handle exactly once. Later passes touch only
+        // the hot state lane through these handles; no handle survives past
+        // this slot's (potential) end-of-slot compaction.
         senders.clear();
         listeners.clear();
+        senders_at.clear();
+        listeners_at.clear();
         for &id in &participants {
-            let p = packets.state_mut(PacketId(id));
+            let d = packets.resolve(PacketId(id));
+            let p = packets.state_at_mut(d);
             if p.send_on_access(&mut core.rng) {
                 senders.push(PacketId(id));
+                senders_at.push(d);
             } else {
                 listeners.push(PacketId(id));
+                listeners_at.push(d);
             }
         }
 
@@ -250,8 +324,9 @@ where
             succeeded: false,
         };
         let mut quads = listeners.chunks_exact(4);
-        for quad in quads.by_ref() {
-            let mut lanes = packets.lanes4([quad[0], quad[1], quad[2], quad[3]]);
+        let mut quads_at = listeners_at.chunks_exact(4);
+        for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
+            let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
             if hooks.wants_observe() {
                 let before = [
                     lanes[0].clone(),
@@ -294,9 +369,9 @@ where
                 }
             }
         }
-        for &id in quads.remainder() {
+        for (&id, &d) in quads.remainder().iter().zip(quads_at.remainder()) {
             core.metrics.note_listen(id);
-            let p = packets.state_mut(id);
+            let p = packets.state_at_mut(d);
             if hooks.wants_observe() {
                 let before = p.clone();
                 p.observe(&obs);
@@ -319,7 +394,7 @@ where
             SlotOutcome::Success { id } => Some(id),
             _ => None,
         };
-        for &id in &senders {
+        for (&id, &d) in senders.iter().zip(&senders_at) {
             core.metrics.note_send(id);
             let succeeded = winner == Some(id);
             let obs = Observation {
@@ -328,7 +403,7 @@ where
                 sent: true,
                 succeeded,
             };
-            let p = packets.state_mut(id);
+            let p = packets.state_at_mut(d);
             if hooks.wants_observe() {
                 let before = p.clone();
                 p.observe(&obs);
@@ -366,6 +441,8 @@ where
         cap_scratch(&mut participants, SCRATCH_CAP);
         cap_scratch(&mut senders, SCRATCH_CAP);
         cap_scratch(&mut listeners, SCRATCH_CAP);
+        cap_scratch(&mut senders_at, SCRATCH_CAP);
+        cap_scratch(&mut listeners_at, SCRATCH_CAP);
 
         core.checkpoint(te, active_count, contention);
         now = te + 1;

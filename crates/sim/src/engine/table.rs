@@ -10,17 +10,26 @@
 //! the whole simulation.
 //!
 //! [`PacketTable`] fixes the layout with a struct-of-arrays split plus
-//! **epoch compaction**:
+//! **epoch compaction**. The table is three parallel lanes with distinct
+//! roles — at million-station scale, which lanes a pass touches is the
+//! difference between streaming one array and dragging three:
 //!
-//! * the hot protocol states live in one dense array (`states`), with a
-//!   parallel array of their original ids (`ids`);
-//! * a stable remap `index_of: id → dense index` routes every access; its
-//!   `VACANT` sentinel doubles as the packet's departed status bit;
-//! * once enough packets have departed (an *epoch*, see
-//!   [`PacketTable::maybe_compact`]), the dense arrays are compacted in
-//!   place — live packets slide together, preserving their relative order,
-//!   and the dead states are dropped — so the working set tracks the live
-//!   population instead of the historical one.
+//! * `states` — the **hot lane**: protocol states, dense, touched by every
+//!   observe/wake pass;
+//! * `ids` — the **depart lane**: the original id of each dense entry,
+//!   read only when a packet departs (hooks and metrics speak original
+//!   [`PacketId`]s) and during compaction;
+//! * `index_of` — the **remap lane**: id → dense index, or the `VACANT`
+//!   sentinel once the packet departed (its status bit). Resolved once per
+//!   packet per slot into a [`Dense`] handle (see
+//!   [`PacketTable::resolve`]); the per-access passes then index the hot
+//!   lane directly and never touch the remap again.
+//!
+//! Once enough packets have departed (an *epoch*, see
+//! [`PacketTable::maybe_compact`]), the dense lanes are compacted in
+//! place — live packets slide together, preserving their relative order,
+//! and the dead states are dropped — so the working set tracks the live
+//! population instead of the historical one.
 //!
 //! Compaction is invisible outside the table: hooks, metrics, and traces
 //! keep seeing original [`PacketId`]s (the engine never exposes dense
@@ -38,6 +47,27 @@ const VACANT: u32 = u32::MAX;
 /// Minimum number of departed-but-uncompacted packets before an epoch ends.
 /// Below this, compaction would churn memory for no locality gain.
 const EPOCH_MIN_DEAD: usize = 32;
+
+/// A resolved position in the dense lanes, produced by
+/// [`PacketTable::resolve`].
+///
+/// A `Dense` handle is the table's receipt that the id → index remap was
+/// already paid: the `*_at` accessors index the hot `states` lane directly,
+/// with no remap read and no liveness branch. Handles are **stable across
+/// inserts** (the dense lanes are append-only between compactions) but
+/// **invalidated by compaction** — the engine resolves a slot's
+/// participants once, up front, and only compacts at end-of-slot after the
+/// last access, so no handle ever outlives its validity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dense(u32);
+
+impl Dense {
+    /// The raw dense-lane index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Dense, epoch-compacted storage of live per-packet protocol states.
 ///
@@ -131,6 +161,38 @@ impl<P> PacketTable<P> {
         &mut self.states[idx as usize]
     }
 
+    /// Resolves live packet `id` to a [`Dense`] handle: the one remap-lane
+    /// read the packet pays this slot. All `*_at` accesses through the
+    /// handle then touch only the lanes they need.
+    ///
+    /// The handle is valid until the next [`compact`](Self::compact) (see
+    /// [`Dense`]).
+    #[inline]
+    pub fn resolve(&self, id: PacketId) -> Dense {
+        let idx = self.index_of[id.index()];
+        debug_assert_ne!(idx, VACANT, "resolve of departed {id}");
+        Dense(idx)
+    }
+
+    /// The state at a resolved handle — a hot-lane read, no remap.
+    #[inline]
+    pub fn state_at(&self, d: Dense) -> &P {
+        &self.states[d.index()]
+    }
+
+    /// Mutable state at a resolved handle — a hot-lane access, no remap.
+    #[inline]
+    pub fn state_at_mut(&mut self, d: Dense) -> &mut P {
+        &mut self.states[d.index()]
+    }
+
+    /// The original [`PacketId`] at a resolved handle: a depart-lane read,
+    /// used when a packet leaves (hooks and metrics speak original ids).
+    #[inline]
+    pub fn id_at(&self, d: Dense) -> PacketId {
+        PacketId(self.ids[d.index()])
+    }
+
     /// Gathers four distinct live packets' states as a batch-lane array for
     /// the 4-wide observe/draw surface
     /// ([`SparseProtocol::observe4`](crate::protocol::SparseProtocol::observe4)).
@@ -148,6 +210,35 @@ impl<P> PacketTable<P> {
         self.states
             .get_disjoint_mut(idx)
             .expect("lane ids are distinct and live")
+    }
+
+    /// Gathers four distinct resolved handles' states as a batch-lane
+    /// array — the handle-based twin of [`lanes4`](Self::lanes4), touching
+    /// only the hot lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handles are not distinct.
+    #[inline]
+    pub fn lanes4_at(&mut self, handles: [Dense; 4]) -> [&mut P; 4] {
+        self.states
+            .get_disjoint_mut(handles.map(Dense::index))
+            .expect("lane handles are distinct")
+    }
+
+    /// Allocated bytes of the bookkeeping lanes (`ids` + `index_of`) — the
+    /// table's engine-overhead footprint, counted against the
+    /// bytes-per-station capacity budget.
+    pub fn lane_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.ids.capacity() + self.index_of.capacity()) * size_of::<u32>()
+    }
+
+    /// Allocated bytes of the hot state lane. Reported separately from
+    /// [`lane_bytes`](Self::lane_bytes): protocol state size is the
+    /// protocol's footprint, not the engine's.
+    pub fn state_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<P>()
     }
 
     /// Marks packet `id` as departed. Its dense entry lingers (and its
@@ -349,6 +440,81 @@ mod tests {
         t.compact();
         assert_eq!(t.dense_len(), 4);
         assert_consistent(&t, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dense_handles_bypass_the_remap_until_compaction() {
+        // A slot's split pass resolves each participant once; every later
+        // access in the slot goes through the handle, hot lane only. The
+        // handle must agree with the id-based accessors, survive inserts,
+        // and expose the original id for the depart path.
+        let mut t = table_of(6);
+        let h3 = t.resolve(PacketId(3));
+        let h5 = t.resolve(PacketId(5));
+        assert_eq!(*t.state_at(h3), 1003);
+        assert_eq!(t.id_at(h3), PacketId(3));
+        *t.state_at_mut(h5) += 7;
+        assert_eq!(*t.state(PacketId(5)), 1012, "id view sees the write");
+        // Inserts are append-only: outstanding handles stay valid.
+        t.insert(PacketId(6), 1006);
+        assert_eq!(*t.state_at(h3), 1003);
+        let lanes = t.lanes4_at([
+            t.resolve(PacketId(0)),
+            t.resolve(PacketId(6)),
+            h3,
+            t.resolve(PacketId(1)),
+        ]);
+        assert_eq!(
+            [*lanes[0], *lanes[1], *lanes[2], *lanes[3]],
+            [1000, 1006, 1003, 1001]
+        );
+    }
+
+    #[test]
+    fn handles_rebind_correctly_across_two_compactions() {
+        // The SoA pin for the wheel PR: two rounds of departures +
+        // compaction, and after each one (a) re-resolved handles land on
+        // the packet's moved state, (b) the depart lane still yields the
+        // original id, (c) stale liveness never leaks through the remap.
+        let mut t = table_of(10);
+        for id in [0, 1, 2, 3] {
+            t.retire(PacketId(id));
+        }
+        t.compact();
+        let h9 = t.resolve(PacketId(9));
+        assert_eq!(h9.index(), 5, "first compaction slid 9 to index 5");
+        assert_eq!(*t.state_at(h9), 1009);
+        assert_eq!(t.id_at(h9), PacketId(9), "original id visible post-move");
+        for id in [5, 7, 8] {
+            t.retire(PacketId(id));
+        }
+        t.compact();
+        let h9 = t.resolve(PacketId(9));
+        assert_eq!(h9.index(), 2, "second compaction slid 9 again");
+        assert_eq!(*t.state_at(h9), 1009);
+        assert_eq!(t.id_at(h9), PacketId(9));
+        // The whole survivor set, via handles.
+        for (id, want_idx) in [(4u32, 0usize), (6, 1), (9, 2)] {
+            let h = t.resolve(PacketId(id));
+            assert_eq!(h.index(), want_idx);
+            assert_eq!(t.id_at(h), PacketId(id));
+            assert_eq!(*t.state_at(h), 1000 + id as u64);
+        }
+        for id in [0, 1, 2, 3, 5, 7, 8] {
+            assert_eq!(t.dense_index(PacketId(id)), None, "id {id} stays dead");
+        }
+    }
+
+    #[test]
+    fn lane_bytes_track_bookkeeping_not_states() {
+        let t = table_of(100);
+        // u64 states: the hot lane is 8 bytes each, bookkeeping 8 (two
+        // u32 lanes). Capacities may exceed length, never undershoot it.
+        assert!(t.lane_bytes() >= 100 * 8);
+        assert!(t.state_bytes() >= 100 * 8);
+        let empty: PacketTable<[u8; 64]> = PacketTable::new();
+        assert_eq!(empty.lane_bytes(), 0);
+        assert_eq!(empty.state_bytes(), 0);
     }
 
     #[test]

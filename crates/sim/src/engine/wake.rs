@@ -1,78 +1,152 @@
-//! The wake set of the event-driven sparse engine.
+//! The wake set of the event-driven sparse engine: a hierarchical timing
+//! wheel.
 //!
 //! A [`WakeQueue`] holds, for every live packet, the one slot in which it
 //! will next access the channel. The classic structure for this is a binary
 //! heap — but a heap pays `O(log n)` scattered memory touches *per access*,
-//! and at paper scale (tens of thousands of packets, hundreds of accesses
-//! per slot) those heap ops dominate the whole simulation. This module
-//! replaces the heap with a **calendar queue**:
+//! and at paper scale those heap ops dominate the whole simulation. PRs 2–4
+//! replaced the heap with a flat 4096-bucket calendar ring (retained as the
+//! [`FlatWakeQueue`](crate::engine::wake_flat) oracle); that ring in turn
+//! degrades at million-station scale, where the long sleep gaps of the
+//! quantized LowSensing ladder overflow its window and churn the far heap.
+//! This module is the next rung: a **multi-level timing wheel** in the
+//! kernel-timer cascade style.
 //!
-//! * a ring of `RING` buckets covers the slots `[base, base + RING)`; an
-//!   event lands in bucket `slot % RING` with an O(1) push;
-//! * a bitmap with one bit per bucket makes "earliest non-empty bucket" a
-//!   handful of word scans instead of a heap percolation;
-//! * the rare event scheduled beyond the ring horizon overflows into a
-//!   small binary heap and migrates into the ring as time advances.
+//! # Levels as aligned blocks
 //!
-//! # Insertion-order drain
+//! The wheel has four ring levels plus a far heap. Level `k` covers a
+//! *suffix of the current `2^SHIFT[k+1]`-aligned block* of the slot axis,
+//! at granularity `2^SHIFT[k]`:
+//!
+//! ```text
+//! level  granularity  buckets  covers (given current base b)
+//! L0     1 slot       4096     [b,  E0)   E0 = end of b's 2^12 block
+//! L1     2^12 slots    256     [E0, E1)   E1 = end of b's 2^20 block
+//! L2     2^20 slots    256     [E1, E2)   E2 = end of b's 2^28 block
+//! L3     2^28 slots    256     [E2, E3)   E3 = end of b's 2^36 block
+//! far    exact heap      —     [E3, ∞)    keyed (slot, seq, id)
+//! ```
+//!
+//! An event is pushed into the unique level whose range contains its slot:
+//! an O(1) append, no search. L0 reuses the flat ring's cache-line bucket
+//! (inline-6 cell + occupancy bitmap), so the hot path at the 16384-station
+//! tier — where almost every delay lands in the current 4096-slot block —
+//! is the same machine code as before. Coarse buckets store `(slot, id)`
+//! pairs with a cached per-bucket minimum slot.
+//!
+//! When [`advance_to`](WakeQueue::advance_to) crosses a block boundary, the
+//! one coarse bucket that has just become *current* is drained and its
+//! events **cascade** down, each re-placed by the same rule under the new
+//! block ends. Crossing a `2^SHIFT[k+1]` boundary drains exactly one level-
+//! `k+1` bucket (crossing the `2^36` block end instead migrates the now-
+//! covered prefix of the far heap): finer levels are provably empty at that
+//! moment, because the engine only ever advances to (at most) the next
+//! pending slot, and every event in a finer level or an earlier coarse
+//! bucket would have a slot *before* the boundary being crossed. That makes
+//! the cascade `O(events moved)` with no scan of untouched buckets or of
+//! the far heap — the flat ring, by contrast, re-peeked its far heap on
+//! every advance. A `moved` counter (see
+//! [`cascade_moves`](WakeQueue::cascade_moves)) counts exactly the events
+//! re-placed, and each event cascades at most once per level: at most 4
+//! touches ever, amortized O(1) per schedule.
+//!
+//! # Insertion-order drain through cascades
 //!
 //! Within one slot the engine processes packets in **insertion order**: the
 //! order in which their events were [`schedule`](WakeQueue::schedule)d,
-//! across the whole run. [`WakeQueue::take`] therefore just hands back the
-//! bucket as-is — no per-slot sort — because a bucket is *already* in
-//! insertion order:
+//! across the whole run (the `(slot, seq)` order of the
+//! [`run_sparse_reference`](crate::engine::sparse_reference) oracle, where
+//! `seq` is the global schedule-call index). The wheel preserves it
+//! *structurally*, storing no `seq` in any ring level:
 //!
-//! * direct pushes land in the bucket in call order, and every `schedule`
-//!   call carries an implicit global sequence number (its position in the
-//!   run's schedule-call stream);
-//! * far events are keyed by `(slot, seq)` in the overflow heap, so when a
-//!   slot's far events migrate inward they arrive in ascending-seq order;
-//! * far and direct pushes for one slot cannot interleave: an event for
-//!   slot `s` goes far only while `s ≥ horizon` and direct only while
-//!   `s < horizon`, and the horizon never decreases — so every far event
-//!   for `s` precedes (in seq) every direct event for `s`, and the
-//!   migration happens at the exact `advance_to` that makes direct pushes
-//!   to `s` possible.
+//! * **Within a bucket**, events for the same slot appear in ascending seq:
+//!   direct pushes arrive in call order; a cascade re-places a drained
+//!   bucket in stored order, preserving same-slot relative order at the
+//!   destination; far migration pops `(slot, seq)`-keyed entries, so one
+//!   slot's migrants arrive consecutively in ascending seq.
+//! * **Across sources**, same-slot events cannot interleave out of order,
+//!   because the block ends `E0..E3` are monotone (they only move when
+//!   `advance_to` crosses a boundary, and only forward). For a fixed slot
+//!   `s`, every event scheduled while `s` lay beyond some end `Ek` has a
+//!   smaller seq than every event scheduled after `Ek` moved past `s` —
+//!   and the cascade (or far migration) that carries the early events into
+//!   the finer level fires at the *exact* `advance_to` that first makes
+//!   direct pushes to that finer level possible for `s`. Migrants land
+//!   before any subsequent direct push can, at every level. (This is the
+//!   same monotone-horizon argument the flat ring made for its single
+//!   far/ring boundary, applied per level; naive delta-based level
+//!   selection, where an event's level depends on `slot - now` at schedule
+//!   time, would *break* it — a later push could take a shortcut into a
+//!   fine level while an earlier same-slot event still waited upstairs.)
 //!
-//! The engine's reproducibility contract is re-pinned on the same order:
-//! the reference oracle
-//! ([`run_sparse_reference`](crate::engine::sparse_reference)) keys its
-//! heap by `(slot, seq)`, which pops exactly this drain order. See
-//! `docs/ARCHITECTURE.md` ("Insertion-order processing & the (slot, seq)
-//! oracle") for why the two orders coincide.
-//!
-//! Total cost: `O(1)` amortized per scheduled access plus `O(k)` per event
-//! slot with `k` participants — the former `O(k log k)` per-slot sort is
-//! gone.
+//! [`take`](WakeQueue::take) therefore still hands back the L0 bucket
+//! as-is: no per-slot sort, no seq comparisons, and
+//! `run_sparse_reference` plus the sparse-equivalence suite keep pinning
+//! the engine bit-identical on top of it. See docs/ARCHITECTURE.md ("The
+//! hierarchical wake wheel").
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::Slot;
 
-/// Number of slots covered by the ring. Backoff protocols sleep for
-/// geometrically distributed gaps whose mean is far below this, so overflow
-/// into the far heap is rare; 4096 buckets keep the hot metadata inside L2.
-const RING: usize = 1 << 12;
-const MASK: usize = RING - 1;
-const WORDS: usize = RING / 64;
+/// log2 of each level's granularity in slots: L0 is slot-granular, L1
+/// buckets span `2^12` slots, L2 `2^20`, L3 `2^28`. The far heap takes over
+/// past the current `2^36` block.
+const SHIFT: [u32; 4] = [0, 12, 20, 28];
 
-/// Retained capacity (in events) of a drained bucket's spill vector. A
+/// log2 of the span covered by all ring levels together (one L3 block).
+const TOP_BITS: u32 = 36;
+
+/// Number of slot-granular L0 buckets: one whole `2^12` block, so bucket
+/// `slot & L0_MASK` is direct-mapped with no wraparound within a block.
+const L0_SLOTS: usize = 1 << SHIFT[1];
+const L0_MASK: usize = L0_SLOTS - 1;
+const WORDS: usize = L0_SLOTS / 64;
+
+/// Buckets per coarse level (L1–L3): each splits its parent block into 256
+/// child blocks, `index = (slot >> SHIFT[level]) & COARSE_MASK`.
+const COARSE_SLOTS: usize = 256;
+const COARSE_MASK: usize = COARSE_SLOTS - 1;
+const COARSE_WORDS: usize = COARSE_SLOTS / 64;
+
+/// Retained capacity (in events) of a drained L0 bucket's spill vector. A
 /// pathological collision burst can balloon one bucket to tens of
 /// thousands of entries; without a cap that memory is pinned for the rest
 /// of the run in all 4096 buckets. Oversized spills are shrunk back to
 /// this bound after draining.
 const BUCKET_CAP: usize = 64;
 
-/// Events stored inline in a bucket before spilling to its vector. Sized
-/// so one bucket is exactly one cache line: the common push touches a
+/// Retained capacity (in events) of a drained coarse bucket. Coarse
+/// buckets legitimately hold thousands of events (a whole child block's
+/// worth at million-station scale), so the cap is generous; it only
+/// reclaims true outliers.
+const COARSE_CAP: usize = 1024;
+
+/// Events stored inline in an L0 bucket before spilling to its vector.
+/// Sized so one bucket is exactly one cache line: the common push touches a
 /// single line instead of a `Vec` header plus a separately allocated data
-/// line. Steady-state occupancy (live packets spread over the ring) is a
+/// line. Steady-state occupancy (live packets spread over the block) is a
 /// handful of events per bucket, so the spill path is rare.
 const INLINE: usize = 6;
 
-/// One calendar bucket: a cache-line cell holding its slot's pending ids
-/// in insertion order — the first [`INLINE`] inline, the rest in `spill`.
+/// End of the `2^bits`-aligned block containing `t`, saturating at
+/// `u64::MAX`. The saturation mirrors the NEVER-sentinel convention of
+/// [`crate::time`]: a slot at `u64::MAX` is never strictly below a
+/// saturated end, so it parks in the far heap — exactly where the flat
+/// ring's saturating horizon left it.
+#[inline]
+fn block_end(t: Slot, bits: u32) -> Slot {
+    let block = (t >> bits) + 1;
+    if block > (u64::MAX >> bits) {
+        u64::MAX
+    } else {
+        block << bits
+    }
+}
+
+/// One L0 bucket: a cache-line cell holding its slot's pending ids in
+/// insertion order — the first [`INLINE`] inline, the rest in `spill`.
 #[derive(Debug)]
 #[repr(align(64))]
 struct Bucket {
@@ -112,6 +186,69 @@ impl Bucket {
     }
 }
 
+/// A pending event parked in a coarse level: its exact slot rides along so
+/// the cascade can re-place it without consulting anything else.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    slot: Slot,
+    id: u32,
+}
+
+/// One coarse bucket: the events of one child block, in arrival order
+/// (which preserves same-slot seq order — see the module docs), plus the
+/// cached minimum slot so `next_slot` never scans event lists.
+#[derive(Debug)]
+struct CoarseBucket {
+    /// Minimum slot among `events`; meaningless when `events` is empty.
+    min_slot: Slot,
+    /// The block's pending events in arrival order.
+    events: Vec<Event>,
+}
+
+impl CoarseBucket {
+    fn new() -> Self {
+        CoarseBucket {
+            min_slot: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// One coarse ring (L1–L3): 256 buckets plus an occupancy bitmap. Bucket
+/// indices are monotone in slot over the level's covered range (all of it
+/// lies inside one parent block), so "first set bit" is "earliest block".
+#[derive(Debug)]
+struct CoarseLevel {
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; COARSE_WORDS],
+    buckets: Box<[CoarseBucket; COARSE_SLOTS]>,
+}
+
+impl CoarseLevel {
+    fn new() -> Self {
+        let buckets: Box<[CoarseBucket; COARSE_SLOTS]> = (0..COARSE_SLOTS)
+            .map(|_| CoarseBucket::new())
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("COARSE_SLOTS buckets");
+        CoarseLevel {
+            occupied: [0; COARSE_WORDS],
+            buckets,
+        }
+    }
+
+    /// Index of the first non-empty bucket, if any.
+    #[inline]
+    fn first_occupied(&self) -> Option<usize> {
+        for (w, &bits) in self.occupied.iter().enumerate() {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
 /// Retained capacity (in events) of the engine-side per-slot scratch
 /// vectors (participants / senders / listeners). Sized to hold the largest
 /// cohorts ordinary workloads produce so the shrink never fires on the hot
@@ -132,34 +269,67 @@ pub(crate) fn cap_scratch<T>(v: &mut Vec<T>, cap: usize) {
     }
 }
 
-/// Calendar queue of pending wake events, keyed by absolute slot.
+/// The wake-set interface the generic sparse loop is written against, so
+/// the same engine body runs over the production wheel ([`WakeQueue`]) and
+/// the retained flat ring
+/// ([`FlatWakeQueue`](crate::engine::wake_flat::FlatWakeQueue)) oracle.
+/// Implementations must drain each slot in global insertion (schedule-call)
+/// order; see the module docs.
+pub(crate) trait WakeSet {
+    /// An empty wake set with its clock at slot 0.
+    fn new() -> Self;
+    /// Schedules packet `id` to wake in `slot` (≥ the current base).
+    fn schedule(&mut self, slot: Slot, id: u32);
+    /// The earliest slot with a pending event, if any.
+    fn next_slot(&self) -> Option<Slot>;
+    /// Moves the clock forward to `t` (≤ the earliest pending slot).
+    fn advance_to(&mut self, t: Slot);
+    /// Drains slot `t`'s events into `out` in insertion order.
+    fn take(&mut self, t: Slot, out: &mut Vec<u32>);
+}
+
+/// Hierarchical timing wheel of pending wake events, keyed by absolute
+/// slot.
 ///
 /// Slots must be consumed in nondecreasing order via
 /// [`WakeQueue::advance_to`] + [`WakeQueue::take`]; events may only be
-/// scheduled at or after the current base slot. Within one slot, events
-/// come back in insertion order (the order of the `schedule` calls).
+/// scheduled at or after the current base slot, and the base may only
+/// advance to (at most) the earliest pending slot — the engine's natural
+/// stepping discipline, which the cascade's single-bucket-drain invariant
+/// relies on. Within one slot, events come back in insertion order (the
+/// order of the `schedule` calls).
 #[derive(Debug)]
 pub struct WakeQueue {
-    /// Start of the ring window `[base, base + RING)`.
+    /// Current clock: the start of L0's covered range `[base, ends[0])`.
     base: Slot,
-    /// Events currently stored in ring buckets (excludes the far heap).
-    in_ring: usize,
-    /// One bit per bucket: set iff the bucket is non-empty.
-    occupied: [u64; WORDS],
-    /// Cached `base + RING`, the first slot past the ring window; kept in
-    /// sync by `advance_to` so the hot `schedule` path pays one compare
-    /// instead of a saturating add per event.
-    horizon: Slot,
+    /// Cached block ends `E0..E3` for the current base (see module docs):
+    /// `ends[k]` = end of base's `2^SHIFT[k+1]`-block (`2^36` for `k = 3`),
+    /// saturating. Level `k` covers `[ends[k-1], ends[k])`.
+    ends: [Slot; 4],
+    /// Pending events per ring level (`counts[0]` is L0). The level
+    /// ordering invariant (every L0 slot < every L1 slot < … < far) makes
+    /// `next_slot` a first-non-empty-level scan.
+    counts: [usize; 4],
     /// Position of the next `schedule` call in the run's global schedule
-    /// stream. Far events carry it so migration replays insertion order.
+    /// stream. Only far-heap entries store it (ring levels preserve seq
+    /// order structurally — see the module docs).
     seq: u64,
-    /// `buckets[slot % RING]` holds the ids waking in `slot`, in insertion
-    /// order, inline-first (see [`Bucket`]). A boxed fixed-size array (not
-    /// a `Vec`) so masked indexing is provably in bounds and the per-event
-    /// push carries no bounds check.
-    buckets: Box<[Bucket; RING]>,
-    /// Events beyond the ring horizon, keyed `(slot, seq, id)` and migrated
-    /// inward by `advance_to` in that order.
+    /// Debug counter: total events re-placed by cascades and far
+    /// migrations since construction. Pinned by tests to prove the wheel
+    /// moves `O(events)` per boundary crossing, never rescanning.
+    moved: u64,
+    /// One bit per L0 bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// `buckets[slot & L0_MASK]` holds the ids waking in `slot`, in
+    /// insertion order, inline-first (see [`Bucket`]). A boxed fixed-size
+    /// array (not a `Vec`) so masked indexing is provably in bounds and the
+    /// per-event push carries no bounds check.
+    buckets: Box<[Bucket; L0_SLOTS]>,
+    /// The coarse rings L1–L3 (`coarse[k]` has granularity
+    /// `2^SHIFT[k + 1]`).
+    coarse: [CoarseLevel; 3],
+    /// Events beyond the current `2^36` block, keyed `(slot, seq, id)` and
+    /// migrated inward (in that order) when the block boundary is crossed.
     far: BinaryHeap<Reverse<(Slot, u64, u32)>>,
 }
 
@@ -170,24 +340,22 @@ impl Default for WakeQueue {
 }
 
 impl WakeQueue {
-    /// Width in slots of the in-ring scheduling window `[base, base +
-    /// WINDOW)`; events at or past `base + WINDOW` spill into the far heap.
-    pub const WINDOW: u64 = RING as u64;
-
-    /// An empty queue with its window starting at slot 0.
+    /// An empty queue with its clock at slot 0.
     pub fn new() -> Self {
-        let buckets: Box<[Bucket; RING]> = (0..RING)
+        let buckets: Box<[Bucket; L0_SLOTS]> = (0..L0_SLOTS)
             .map(|_| Bucket::new())
             .collect::<Vec<_>>()
             .try_into()
-            .expect("RING buckets");
+            .expect("L0_SLOTS buckets");
         WakeQueue {
             base: 0,
-            in_ring: 0,
-            occupied: [0; WORDS],
-            horizon: RING as u64,
+            ends: [1 << SHIFT[1], 1 << SHIFT[2], 1 << SHIFT[3], 1 << TOP_BITS],
+            counts: [0; 4],
             seq: 0,
+            moved: 0,
+            occupied: [0; WORDS],
             buckets,
+            coarse: [CoarseLevel::new(), CoarseLevel::new(), CoarseLevel::new()],
             far: BinaryHeap::new(),
         }
     }
@@ -195,7 +363,39 @@ impl WakeQueue {
     /// Whether no event is pending anywhere.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.in_ring == 0 && self.far.is_empty()
+        self.counts == [0; 4] && self.far.is_empty()
+    }
+
+    /// Total events re-placed by cascades and far migrations so far.
+    ///
+    /// A debug/observability counter: each boundary crossing must move
+    /// exactly the events of the one bucket (or far-heap prefix) that
+    /// became current — tests pin this to prove the cascade is `O(events
+    /// moved)`, with no hidden rescans of untouched buckets or the far
+    /// heap.
+    #[inline]
+    pub fn cascade_moves(&self) -> u64 {
+        self.moved
+    }
+
+    /// Approximate heap footprint of the queue in bytes: the fixed rings
+    /// plus every live spill/event/heap allocation at its current
+    /// capacity. Feeds the bytes-per-station budget in the capacity bench;
+    /// the fixed part (~290 KiB) amortizes to well under a byte per
+    /// station at the 1M tier.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>() + L0_SLOTS * size_of::<Bucket>();
+        for b in self.buckets.iter() {
+            bytes += b.spill.capacity() * size_of::<u32>();
+        }
+        for level in &self.coarse {
+            bytes += COARSE_SLOTS * size_of::<CoarseBucket>();
+            for b in level.buckets.iter() {
+                bytes += b.events.capacity() * size_of::<Event>();
+            }
+        }
+        bytes + self.far.capacity() * size_of::<Reverse<(Slot, u64, u32)>>()
     }
 
     /// Schedules packet `id` to wake in `slot` (which must be ≥ the current
@@ -205,105 +405,206 @@ impl WakeQueue {
         debug_assert!(slot >= self.base, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        if slot < self.horizon {
-            let idx = (slot as usize) & MASK;
-            self.buckets[idx].push(id);
-            self.occupied[idx / 64] |= 1u64 << (idx % 64);
-            self.in_ring += 1;
+        if slot < self.ends[3] {
+            self.place(slot, id);
         } else {
             self.far.push(Reverse((slot, seq, id)));
         }
     }
 
+    /// Pushes an event into the unique ring level covering `slot` under
+    /// the current block ends. Caller guarantees `slot < ends[3]`.
+    #[inline]
+    fn place(&mut self, slot: Slot, id: u32) {
+        if slot < self.ends[0] {
+            let idx = (slot as usize) & L0_MASK;
+            self.buckets[idx].push(id);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            self.counts[0] += 1;
+        } else {
+            self.place_coarse(slot, id);
+        }
+    }
+
+    /// The coarse-level arm of [`place`](Self::place), out of line so the
+    /// dominant L0 push stays branch-light.
+    fn place_coarse(&mut self, slot: Slot, id: u32) {
+        let lvl = if slot < self.ends[1] {
+            0
+        } else if slot < self.ends[2] {
+            1
+        } else {
+            2
+        };
+        let idx = ((slot >> SHIFT[lvl + 1]) as usize) & COARSE_MASK;
+        let level = &mut self.coarse[lvl];
+        let bucket = &mut level.buckets[idx];
+        if bucket.events.is_empty() || slot < bucket.min_slot {
+            bucket.min_slot = slot;
+        }
+        bucket.events.push(Event { slot, id });
+        level.occupied[idx / 64] |= 1u64 << (idx % 64);
+        self.counts[lvl + 1] += 1;
+    }
+
     /// Debug-only invariant check used by the model proptest: the spill
-    /// vector may be non-empty only when the inline cell is full.
+    /// vector of an L0 bucket may be non-empty only when the inline cell is
+    /// full.
     #[cfg(test)]
     pub(crate) fn bucket_shape(&self, slot: Slot) -> (usize, usize) {
-        let b = &self.buckets[(slot as usize) & MASK];
+        let b = &self.buckets[(slot as usize) & L0_MASK];
         (b.len as usize, b.spill.len())
+    }
+
+    /// Debug-only: retained spill capacity of coarse level `lvl`, bucket
+    /// `idx`.
+    #[cfg(test)]
+    pub(crate) fn coarse_capacity(&self, lvl: usize, idx: usize) -> usize {
+        self.coarse[lvl].buckets[idx].events.capacity()
     }
 
     /// The earliest slot with a pending event, if any.
     pub fn next_slot(&self) -> Option<Slot> {
-        if self.in_ring > 0 {
-            // Ring events always precede far events (far ≥ base + RING).
-            Some(self.next_ring_slot())
-        } else {
-            self.far.peek().map(|Reverse((s, _, _))| *s)
+        // Level ordering invariant: every L0 slot < ends[0] ≤ every L1
+        // slot < ends[1] ≤ … < ends[3] ≤ every far slot, so the first
+        // non-empty level holds the minimum.
+        if self.counts[0] > 0 {
+            return Some(self.next_l0_slot());
         }
+        for lvl in 0..3 {
+            if self.counts[lvl + 1] > 0 {
+                let idx = self.coarse[lvl]
+                    .first_occupied()
+                    .expect("count > 0 but no occupied coarse bucket");
+                return Some(self.coarse[lvl].buckets[idx].min_slot);
+            }
+        }
+        self.far.peek().map(|Reverse((s, _, _))| *s)
     }
 
-    /// Scans the occupancy bitmap circularly from `base` for the earliest
-    /// non-empty bucket. Caller guarantees `in_ring > 0`.
-    fn next_ring_slot(&self) -> Slot {
-        let start = (self.base as usize) & MASK;
+    /// Scans the L0 occupancy bitmap upward from `base` for the earliest
+    /// non-empty bucket. Caller guarantees `counts[0] > 0`. No wraparound:
+    /// L0 covers exactly base's `2^12` block, so every occupied index is at
+    /// or above `base & L0_MASK`.
+    fn next_l0_slot(&self) -> Slot {
+        let start = (self.base as usize) & L0_MASK;
         let (w0, b0) = (start / 64, start % 64);
         let first = self.occupied[w0] & (!0u64 << b0);
         if first != 0 {
-            return self.slot_of(w0 * 64 + first.trailing_zeros() as usize);
+            return self.slot_at(w0 * 64 + first.trailing_zeros() as usize);
         }
-        for i in 1..WORDS {
-            let w = (w0 + i) % WORDS;
+        for w in w0 + 1..WORDS {
             let m = self.occupied[w];
             if m != 0 {
-                return self.slot_of(w * 64 + m.trailing_zeros() as usize);
+                return self.slot_at(w * 64 + m.trailing_zeros() as usize);
             }
         }
-        // Wrapped remainder of the first word (bits below b0).
-        let last = self.occupied[w0] & !(!0u64 << b0);
-        debug_assert!(last != 0, "in_ring > 0 but no occupied bucket");
-        self.slot_of(w0 * 64 + last.trailing_zeros() as usize)
+        unreachable!("counts[0] > 0 but no occupied L0 bucket at or after base");
     }
 
-    /// Absolute slot of the bucket at bitmap position `bit`, relative to the
-    /// current window.
+    /// Absolute slot of the L0 bucket at bitmap index `idx` within the
+    /// current block.
     #[inline]
-    fn slot_of(&self, bit: usize) -> Slot {
-        let start = (self.base as usize) & MASK;
-        let delta = (bit + RING - start) & MASK;
-        self.base + delta as u64
+    fn slot_at(&self, idx: usize) -> Slot {
+        (self.base & !(L0_MASK as u64)) + idx as u64
     }
 
-    /// Moves the window start forward to `t` and migrates far events that
-    /// now fit inside the ring.
+    /// Moves the clock forward to `t`, cascading coarse events whose block
+    /// has become current.
     ///
-    /// All buckets in `[base, t)` must already be empty — the engine only
-    /// ever advances to the next pending slot, so this holds by
-    /// construction.
+    /// `t` must be at most the earliest pending slot (the engine only ever
+    /// advances to the next event or arrival). That discipline is what
+    /// makes one bucket per crossing sufficient: when `t` crosses a
+    /// `2^SHIFT[k+1]` boundary, every ring level finer than `k+1` — and
+    /// every level-`k+1` bucket earlier than `t`'s — could hold only slots
+    /// strictly below `t`, so they are empty, and only the bucket
+    /// containing `t` needs to cascade. The whole call is `O(events
+    /// moved)`.
     pub fn advance_to(&mut self, t: Slot) {
         debug_assert!(t >= self.base, "time moved backwards");
-        self.base = t;
-        self.horizon = t.saturating_add(RING as u64);
-        // Pops come out keyed `(slot, seq, _)`, so each bucket receives its
-        // slot's migrants in ascending insertion order — and any direct
-        // push to those slots can only happen after this migration (the
-        // slot was at or past the horizon until now), keeping the whole
-        // bucket insertion-ordered.
-        while let Some(&Reverse((s, _, id))) = self.far.peek() {
-            if s >= self.horizon {
-                break;
-            }
-            self.far.pop();
-            let idx = (s as usize) & MASK;
-            self.buckets[idx].push(id);
-            self.occupied[idx / 64] |= 1u64 << (idx % 64);
-            self.in_ring += 1;
+        if t < self.ends[0] {
+            // Same L0 block: the common case, no boundary crossed.
+            self.base = t;
+            return;
         }
+        let old = self.base;
+        self.base = t;
+        self.ends = [
+            block_end(t, SHIFT[1]),
+            block_end(t, SHIFT[2]),
+            block_end(t, SHIFT[3]),
+            block_end(t, TOP_BITS),
+        ];
+        if (t >> TOP_BITS) != (old >> TOP_BITS) {
+            // Crossed the whole ring span: every ring level is empty (any
+            // ring event's slot was below the old block end ≤ t). Migrate
+            // the far prefix that the new block now covers; pops come out
+            // `(slot, seq)`-ordered, so same-slot migrants land in seq
+            // order, before any later direct push can reach those slots.
+            debug_assert!(self.counts == [0; 4], "ring events at a top crossing");
+            while let Some(&Reverse((s, _, _))) = self.far.peek() {
+                if s >= self.ends[3] {
+                    break;
+                }
+                let Reverse((s, _, id)) = self.far.pop().expect("peeked entry");
+                self.moved += 1;
+                self.place(s, id);
+            }
+        } else if (t >> SHIFT[3]) != (old >> SHIFT[3]) {
+            self.cascade(2, ((t >> SHIFT[3]) as usize) & COARSE_MASK);
+        } else if (t >> SHIFT[2]) != (old >> SHIFT[2]) {
+            self.cascade(1, ((t >> SHIFT[2]) as usize) & COARSE_MASK);
+        } else {
+            // t ≥ old ends[0], so the 2^12 boundary was crossed.
+            self.cascade(0, ((t >> SHIFT[1]) as usize) & COARSE_MASK);
+        }
+    }
+
+    /// Drains coarse bucket `idx` of level `lvl` and re-places its events
+    /// under the (already updated) block ends. Finer levels are empty when
+    /// this runs (see [`advance_to`](Self::advance_to)), so re-placed
+    /// events land in fresh buckets and per-slot order is the bucket's
+    /// stored order.
+    fn cascade(&mut self, lvl: usize, idx: usize) {
+        let (w, b) = (idx / 64, idx % 64);
+        if self.coarse[lvl].occupied[w] & (1u64 << b) == 0 {
+            return;
+        }
+        debug_assert!(
+            self.counts[..=lvl].iter().all(|&c| c == 0),
+            "finer levels non-empty at a level-{} crossing",
+            lvl + 1
+        );
+        self.coarse[lvl].occupied[w] &= !(1u64 << b);
+        let mut events = std::mem::take(&mut self.coarse[lvl].buckets[idx].events);
+        self.counts[lvl + 1] -= events.len();
+        self.moved += events.len() as u64;
+        for e in &events {
+            // The drained bucket is `t`'s own block, so every event lands
+            // strictly finer — never back in the bucket being drained.
+            self.place(e.slot, e.id);
+        }
+        events.clear();
+        cap_scratch(&mut events, COARSE_CAP);
+        self.coarse[lvl].buckets[idx].events = events;
     }
 
     /// Drains every event scheduled for slot `t` (which must lie inside the
-    /// current window), appending the ids to `out` in insertion order (the
-    /// order of the `schedule` calls). Entries already in `out` are left
-    /// untouched.
+    /// current L0 block — the engine always `advance_to(t)`s first),
+    /// appending the ids to `out` in insertion order (the order of the
+    /// `schedule` calls). Entries already in `out` are left untouched.
     pub fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
-        debug_assert!(t >= self.base && t < self.horizon);
-        let idx = (t as usize) & MASK;
+        debug_assert!(
+            t >= self.base && t < self.ends[0],
+            "take outside the current L0 block"
+        );
+        let idx = (t as usize) & L0_MASK;
         let bucket = &mut self.buckets[idx];
         let n = bucket.count();
         if n == 0 {
             return;
         }
-        self.in_ring -= n;
+        self.counts[0] -= n;
         self.occupied[idx / 64] &= !(1u64 << (idx % 64));
         // Inline entries were pushed strictly before any spill entry, so
         // inline-then-spill is push order.
@@ -311,6 +612,28 @@ impl WakeQueue {
         bucket.len = 0;
         out.append(&mut bucket.spill);
         cap_scratch(&mut bucket.spill, BUCKET_CAP);
+    }
+}
+
+impl WakeSet for WakeQueue {
+    fn new() -> Self {
+        WakeQueue::new()
+    }
+    #[inline]
+    fn schedule(&mut self, slot: Slot, id: u32) {
+        WakeQueue::schedule(self, slot, id)
+    }
+    #[inline]
+    fn next_slot(&self) -> Option<Slot> {
+        WakeQueue::next_slot(self)
+    }
+    #[inline]
+    fn advance_to(&mut self, t: Slot) {
+        WakeQueue::advance_to(self, t)
+    }
+    #[inline]
+    fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
+        WakeQueue::take(self, t, out)
     }
 }
 
@@ -338,6 +661,7 @@ mod tests {
         let q = WakeQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.next_slot(), None);
+        assert_eq!(q.cascade_moves(), 0);
     }
 
     #[test]
@@ -354,37 +678,39 @@ mod tests {
     }
 
     #[test]
-    fn far_events_migrate_into_the_ring_in_insertion_order() {
+    fn coarse_events_cascade_in_insertion_order() {
         let mut q = WakeQueue::new();
         q.schedule(2, 1);
-        q.schedule(1_000_000, 3); // far beyond the ring
+        q.schedule(1_000_000, 3); // parks in L1 at base 0
         q.schedule(1_000_000, 2);
         q.schedule(50_000, 9);
         let events = drain(&mut q);
-        // Slot 1_000_000 drains [3, 2]: the far heap is keyed (slot, seq),
-        // so migration replays the schedule-call order, not id order.
+        // Slot 1_000_000 drains [3, 2]: the cascade re-places the coarse
+        // bucket in stored (schedule-call) order, not id order.
         assert_eq!(
             events,
             vec![(2, vec![1]), (50_000, vec![9]), (1_000_000, vec![3, 2])]
         );
+        assert!(q.is_empty());
     }
 
     #[test]
-    fn far_migrants_precede_direct_pushes_in_their_bucket() {
-        // An event scheduled while its slot was beyond the horizon must
-        // drain before one scheduled directly once the window had advanced
-        // — that is the (slot, seq) order, since the far schedule happened
-        // first.
-        let target = WakeQueue::WINDOW + 100;
+    fn coarse_migrants_precede_direct_pushes_in_their_slot() {
+        // An event scheduled while its slot lay beyond the current L0
+        // block must drain before one scheduled directly once the block
+        // advanced — that is the (slot, seq) order, since the coarse
+        // schedule happened first.
+        let target = (1u64 << 12) + 50;
         let mut q = WakeQueue::new();
-        q.schedule(target, 9); // far (beyond horizon at base 0)
+        q.schedule(target, 9); // L1 (beyond L0's block at base 0)
         q.schedule(200, 1);
         let mut out = Vec::new();
         q.advance_to(200);
         q.take(200, &mut out);
         assert_eq!(out, vec![1]);
-        // `target` is now inside the window: the far event has migrated,
-        // and a direct push appends after it despite the smaller id.
+        // Cross the L0 block boundary: the cascade lands 9 in L0 first,
+        // then a direct push appends after it despite the smaller id.
+        q.advance_to(1u64 << 12);
         q.schedule(target, 4);
         q.advance_to(target);
         out.clear();
@@ -394,91 +720,121 @@ mod tests {
     }
 
     #[test]
-    fn ring_boundary_exactly_at_horizon() {
+    fn schedules_exactly_at_each_level_boundary() {
+        // One event at the last L0 slot and one exactly at each block end:
+        // each must park one level up (ends are exclusive) and still drain
+        // in global slot order, cascading down as the clock crosses.
         let mut q = WakeQueue::new();
-        // One event at the last in-window slot, one just past the horizon.
-        q.schedule(RING as u64 - 1, 1);
-        q.schedule(RING as u64, 2);
+        q.schedule((1u64 << 12) - 1, 0); // last slot of L0's block
+        q.schedule(1u64 << 12, 1); // == ends[0]: first L1 slot
+        q.schedule(1u64 << 20, 2); // == ends[1]: first L2 slot
+        q.schedule(1u64 << 28, 3); // == ends[2]: first L3 slot
+        q.schedule(1u64 << 36, 4); // == ends[3]: far heap
         let events = drain(&mut q);
         assert_eq!(
             events,
-            vec![(RING as u64 - 1, vec![1]), (RING as u64, vec![2])]
+            vec![
+                ((1u64 << 12) - 1, vec![0]),
+                (1u64 << 12, vec![1]),
+                (1u64 << 20, vec![2]),
+                (1u64 << 28, vec![3]),
+                (1u64 << 36, vec![4]),
+            ]
         );
-    }
-
-    #[test]
-    fn schedule_and_take_at_window_edge_slots() {
-        // Pin the `schedule`/`take` window contract at the exact edge: with
-        // the window at `[base, base + RING)`, slot `base + RING - 1` is the
-        // last ring-resident slot (and the last slot `take` may be asked
-        // for), while `base + RING` must overflow into the far heap and
-        // migrate back in once the window has advanced. A non-zero,
-        // non-multiple-of-RING base exercises the index wrap too.
-        let base = 3 * RING as u64 + 17;
-        let mut q = WakeQueue::new();
-        q.advance_to(base);
-        q.schedule(base + RING as u64 - 1, 7); // last in-window slot
-        q.schedule(base + RING as u64, 8); // first beyond: far heap
-        q.schedule(base, 3); // window start is schedulable too
-        assert_eq!(q.next_slot(), Some(base));
-        let mut out = Vec::new();
-        q.take(base, &mut out);
-        assert_eq!(out, vec![3]);
-        assert_eq!(q.next_slot(), Some(base + RING as u64 - 1));
-        // Take at the very last in-window slot without advancing: `t` sits
-        // exactly at `horizon - 1`, the debug_assert's boundary.
-        out.clear();
-        q.take(base + RING as u64 - 1, &mut out);
-        assert_eq!(out, vec![7]);
-        // The far event becomes visible and migrates on advance.
-        assert_eq!(q.next_slot(), Some(base + RING as u64));
-        q.advance_to(base + RING as u64);
-        out.clear();
-        q.take(base + RING as u64, &mut out);
-        assert_eq!(out, vec![8]);
+        // Each event cascaded/migrated exactly once: straight into L0 (its
+        // wake slot is the first slot of every nested new block).
+        assert_eq!(q.cascade_moves(), 4);
         assert!(q.is_empty());
     }
 
     #[test]
-    fn far_event_exactly_at_new_horizon_stays_far() {
-        // After advance_to(t), an event at `t + RING` is exactly at the new
-        // horizon and must stay in the far heap (the ring bucket for that
-        // slot index is `t`'s own bucket).
+    fn one_jump_across_a_whole_coarse_level() {
+        // A far-horizon jam gap: after draining slot 7 the next event sits
+        // past the entire L1 range, and the engine advances there in ONE
+        // advance_to call. The crossing must drain exactly the one L2
+        // bucket that became current — counted via the moves counter.
         let mut q = WakeQueue::new();
-        q.schedule(100, 1);
-        q.schedule(100 + RING as u64, 2); // == horizon after advance_to(100)
-        q.advance_to(100);
+        q.schedule(7, 1);
+        let l2_slot = (3u64 << 20) + 5;
+        q.schedule(l2_slot, 2);
         let mut out = Vec::new();
-        q.take(100, &mut out);
+        q.advance_to(7);
+        q.take(7, &mut out);
         assert_eq!(out, vec![1]);
-        // Event 2 is still pending and correctly ordered.
-        assert_eq!(q.next_slot(), Some(100 + RING as u64));
-        q.advance_to(100 + RING as u64);
+        assert_eq!(q.next_slot(), Some(l2_slot));
+        q.advance_to(l2_slot); // crosses a 2^20 boundary in one jump
         out.clear();
-        q.take(100 + RING as u64, &mut out);
+        q.take(l2_slot, &mut out);
         assert_eq!(out, vec![2]);
+        assert_eq!(q.cascade_moves(), 1, "one event, one move, no rescans");
+
+        // Same shape one level up: an L3 event reached in a single jump
+        // across the whole L2 range.
+        let l3_slot = (2u64 << 28) + 9;
+        q.schedule(l3_slot, 3);
+        q.advance_to(l3_slot);
+        out.clear();
+        q.take(l3_slot, &mut out);
+        assert_eq!(out, vec![3]);
+        assert_eq!(q.cascade_moves(), 2);
+
+        // And across the whole ring span: a far-heap event in one jump.
+        let far_slot = (1u64 << 36) + 3;
+        q.schedule(far_slot, 4);
+        q.advance_to(far_slot);
+        out.clear();
+        q.take(far_slot, &mut out);
+        assert_eq!(out, vec![4]);
+        assert_eq!(q.cascade_moves(), 3);
         assert!(q.is_empty());
     }
 
     #[test]
-    fn wraparound_scan_finds_earlier_bucket_index() {
+    fn cascade_moves_each_event_at_most_once_per_level() {
         let mut q = WakeQueue::new();
-        q.advance_to(RING as u64 - 2);
-        // Bucket indices wrap: slot RING+1 maps below the base index.
-        q.schedule(RING as u64 + 1, 4);
-        q.schedule(RING as u64 - 1, 3);
-        let events = drain(&mut q);
-        assert_eq!(
-            events,
-            vec![(RING as u64 - 1, vec![3]), (RING as u64 + 1, vec![4])]
-        );
+        // Five events in one L1 block well ahead of the clock.
+        let block = 3u64 << 12;
+        for id in 0..5u32 {
+            q.schedule(block + id as u64, id);
+        }
+        assert_eq!(q.cascade_moves(), 0);
+        // Advancing within the current L0 block cascades nothing.
+        q.advance_to(100);
+        assert_eq!(q.cascade_moves(), 0);
+        // Crossing into the block cascades exactly the five events, once.
+        q.advance_to(block);
+        assert_eq!(q.cascade_moves(), 5);
+        // Further advances inside the block move nothing more.
+        let mut out = Vec::new();
+        for id in 0..5u32 {
+            q.advance_to(block + id as u64);
+            out.clear();
+            q.take(block + id as u64, &mut out);
+            assert_eq!(out, vec![id]);
+        }
+        assert_eq!(q.cascade_moves(), 5);
+        assert!(q.is_empty());
+
+        // An event two levels up pays one move per level it descends:
+        // L2 → L1 when its 2^20 block becomes current, L1 → L0 when its
+        // 2^12 block does.
+        let slot = (1u64 << 20) + (5u64 << 12) + 7;
+        q.schedule(slot, 42);
+        q.advance_to(1u64 << 20); // 2^20 crossing: L2 → L1
+        assert_eq!(q.cascade_moves(), 6);
+        q.advance_to(slot); // 2^12 crossing: L1 → L0
+        assert_eq!(q.cascade_moves(), 7);
+        out.clear();
+        q.take(slot, &mut out);
+        assert_eq!(out, vec![42]);
+        assert!(q.is_empty());
     }
 
     #[test]
     fn matches_seq_keyed_reference_heap_on_random_workload() {
         // The reference oracle keys its heap (slot, seq): pop order within
-        // a slot is schedule-call order. The calendar queue must drain in
-        // exactly that order on a workload mixing near and far delays.
+        // a slot is schedule-call order. The wheel must drain in exactly
+        // that order on a workload mixing delays across every level.
         use crate::rng::SimRng;
         let mut rng = SimRng::new(42);
         let mut q = WakeQueue::new();
@@ -499,9 +855,11 @@ mod tests {
                 let Reverse((hs, _, hid)) = heap.pop().expect("heap in sync");
                 assert_eq!((hs, hid), (s, id));
                 processed += 1;
-                // Reschedule a while: mixed near/far delays.
+                // Reschedule a while: delay magnitudes sweep L0 through
+                // the far heap (id-dependent so slots collide often).
                 if processed < 4_000 {
-                    let d = 1 + rng.range_u64(10_000);
+                    let magnitude = [12, 13, 21, 29, 37][(id % 5) as usize];
+                    let d = 1 + rng.range_u64(1u64 << magnitude);
                     q.schedule(s + d, id);
                     heap.push(Reverse((s + d, seq, id)));
                     seq += 1;
@@ -521,6 +879,29 @@ mod tests {
         q.take(5, &mut out);
         assert!(out.is_empty());
         assert_eq!(q.next_slot(), Some(10));
+    }
+
+    #[test]
+    fn block_ends_saturate_near_u64_max() {
+        // All block ends saturate to u64::MAX at the top of the slot axis;
+        // a slot at u64::MAX itself is never strictly below a saturated
+        // end, so it parks in the far heap — the NEVER-sentinel
+        // convention, matching the flat ring's saturating horizon.
+        assert_eq!(block_end(u64::MAX - 100, SHIFT[1]), u64::MAX);
+        assert_eq!(block_end(u64::MAX - 100, TOP_BITS), u64::MAX);
+        assert_eq!(block_end(5, SHIFT[1]), 1 << 12);
+        let mut q = WakeQueue::new();
+        let base = u64::MAX - 100;
+        q.advance_to(base);
+        q.schedule(u64::MAX - 3, 7); // inside the saturated L0 block
+        q.schedule(u64::MAX, 8); // not < any end: stays far
+        assert_eq!(q.next_slot(), Some(u64::MAX - 3));
+        q.advance_to(u64::MAX - 3);
+        let mut out = Vec::new();
+        q.take(u64::MAX - 3, &mut out);
+        assert_eq!(out, vec![7]);
+        assert_eq!(q.next_slot(), Some(u64::MAX));
+        assert!(!q.is_empty());
     }
 
     #[test]
@@ -553,16 +934,73 @@ mod tests {
         assert_eq!(q.buckets[9].spill.capacity(), before);
     }
 
+    #[test]
+    fn oversized_coarse_bucket_capacity_is_released_after_cascade() {
+        let mut q = WakeQueue::new();
+        // Flood one L1 bucket (block [2^12, 2^13)) far past the retained
+        // cap, spreading events over its 4096 slots.
+        let burst = 4 * COARSE_CAP as u32;
+        let block = 1u64 << 12;
+        for id in 0..burst {
+            q.schedule(block + (id as u64 % (1 << 12)), id);
+        }
+        let idx = ((block >> SHIFT[1]) as usize) & COARSE_MASK;
+        assert!(q.coarse_capacity(0, idx) >= burst as usize);
+        q.advance_to(block); // cascade drains the bucket into L0
+        assert_eq!(q.cascade_moves(), burst as u64);
+        assert!(
+            q.coarse_capacity(0, idx) <= COARSE_CAP,
+            "coarse bucket kept {} capacity",
+            q.coarse_capacity(0, idx)
+        );
+        // Everything is still there, in per-slot insertion order.
+        let mut seen = 0u32;
+        let mut out = Vec::new();
+        while let Some(s) = q.next_slot() {
+            q.advance_to(s);
+            out.clear();
+            q.take(s, &mut out);
+            // Same-slot ids were scheduled in ascending id order.
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "order lost at {s}");
+            seen += out.len() as u32;
+        }
+        assert_eq!(seen, burst);
+    }
+
+    #[test]
+    fn footprint_grows_with_pending_events_and_is_station_scale() {
+        let mut q = WakeQueue::new();
+        let empty = q.footprint_bytes();
+        assert!(empty > 0);
+        let n = 100_000u32;
+        for id in 0..n {
+            // Spread over L0–L2 like a large quantized-ladder steady state.
+            q.schedule(1 + (id as u64 * 37) % (1 << 22), id);
+        }
+        let full = q.footprint_bytes();
+        assert!(full > empty);
+        // The dominant term is the per-event storage: comfortably under
+        // the 64 bytes/station capacity budget even with the fixed rings.
+        assert!(
+            (full - empty) / n as usize <= 64,
+            "{} bytes per pending event",
+            (full - empty) / n as usize
+        );
+    }
+
     mod model {
-        //! The queue against an insertion-order `BTreeMap` model.
+        //! The wheel against an insertion-order `BTreeMap` model.
         //!
         //! The model is the contract in its simplest form: a
         //! `BTreeMap<Slot, Vec<u32>>` whose per-slot `Vec` is append-only
-        //! push order. Random workloads sweep ring wraparound (starting
-        //! bases near `WINDOW` multiples), far-heap spill (deltas past the
-        //! window), and exactly-at-horizon pushes (delta == `WINDOW`), and
-        //! every drained slot must hand back exactly the model's ids, in
-        //! the model's order.
+        //! push order. This extends the flat ring's original proptest (now
+        //! in `wake_flat.rs`) to the wheel's full delta range: random
+        //! workloads sweep level-boundary rollovers (deltas straddling
+        //! 2^12/2^20/2^28), cascade-at-horizon (exactly-at-block-end
+        //! schedules, which must park one level up), wraparound past the
+        //! whole ring span (deltas beyond 2^36, through the far heap), and
+        //! starting bases near block boundaries — and every drained slot
+        //! must hand back exactly the model's ids, in the model's order.
 
         use super::*;
         use proptest::prelude::*;
@@ -584,17 +1022,46 @@ mod tests {
             Ok(())
         }
 
+        /// Wake delays concentrated at the wheel's decision boundaries:
+        /// in-block, straddling each block end (including exactly-at-end,
+        /// which must park one level up), and past the whole ring span.
+        /// (The in-block range is repeated to weight the uniform choice
+        /// toward the hot path.)
+        fn delta() -> impl Strategy<Value = u64> {
+            prop_oneof![
+                0u64..(1 << 12) + 3,
+                0u64..(1 << 12) + 3,
+                0u64..(1 << 12) + 3,
+                (1u64 << 12) - 3..(1u64 << 13) + 3,
+                (1u64 << 12) - 3..(1u64 << 13) + 3,
+                (1u64 << 20) - 3..(1u64 << 20) + (1 << 13),
+                (1u64 << 20) - 3..(1u64 << 20) + (1 << 13),
+                (1u64 << 28) - 3..(1u64 << 28) + (1 << 13),
+                (1u64 << 36) - 3..(1u64 << 36) + (1 << 13),
+            ]
+        }
+
+        /// Starting clocks near block boundaries of every level, so the
+        /// very first schedules already sit at rollover edges.
+        fn start() -> impl Strategy<Value = u64> {
+            prop_oneof![
+                0u64..3 * (1u64 << 12),
+                0u64..3 * (1u64 << 12),
+                0u64..3 * (1u64 << 12),
+                (1u64 << 20) - (1 << 12)..(1u64 << 20) + (1 << 12),
+                (1u64 << 28) - (1 << 12)..(1u64 << 28) + (1 << 12),
+                (1u64 << 36) - (1 << 12)..(1u64 << 36) + (1 << 12),
+            ]
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
 
             #[test]
             fn drains_in_model_order(
-                // Bases straddling ring multiples exercise index wrap.
-                start in 0u64..3 * WakeQueue::WINDOW,
-                // Deltas up to WINDOW + 2 cover in-ring, the exact horizon
-                // (== WINDOW, which must spill far), and beyond.
+                start in start(),
                 batches in proptest::collection::vec(
-                    proptest::collection::vec(0u64..WakeQueue::WINDOW + 3, 1..8),
+                    proptest::collection::vec(delta(), 1..8),
                     1..40,
                 ),
             ) {
@@ -609,10 +1076,13 @@ mod tests {
                         q.schedule(slot, next_id);
                         model.entry(slot).or_default().push(next_id);
                         next_id += 1;
-                        // Inline/spill split invariant: spilling only
-                        // happens once the inline cell is full.
-                        let (inline, spill) = q.bucket_shape(slot);
-                        prop_assert!(spill == 0 || inline == INLINE);
+                        // Inline/spill split invariant for in-block pushes:
+                        // spilling only happens once the inline cell is
+                        // full.
+                        if slot < block_end(now, SHIFT[1]) {
+                            let (inline, spill) = q.bucket_shape(slot);
+                            prop_assert!(spill == 0 || inline == INLINE);
+                        }
                     }
                     // Drain one event slot, keeping the two in lockstep.
                     let next = q.next_slot().expect("events pending");

@@ -1,0 +1,613 @@
+//! The retained flat calendar ring, kept as a drain-order oracle for the
+//! hierarchical wake wheel in [`wake`](crate::engine::wake).
+//!
+//! This is the PR 2–4 production `WakeQueue` verbatim: a single ring of
+//! `RING` buckets covering `[base, base + RING)`, an occupancy bitmap, and
+//! a `(slot, seq)`-keyed far-overflow heap for events beyond the window.
+//! When the production queue became a multi-level timing wheel, this
+//! structure moved here unchanged so the wheel has a *second*,
+//! structurally different implementation of the same insertion-order
+//! contract to be pinned against — the same role the heap-based
+//! [`run_sparse_reference`](crate::engine::sparse_reference) plays one
+//! layer up. The three-way equivalence tests run the sparse engine over
+//! the wheel, over this flat ring
+//! ([`run_sparse_flat`](crate::engine::sparse::run_sparse_flat)), and over
+//! the reference heap, and demand bit-identical [`RunResult`]s.
+//!
+//! Use it for validation only: at million-station scale its far heap
+//! degrades (every long-gap event pays `O(log n)` heap traffic), which is
+//! exactly what the wheel was built to fix.
+//!
+//! # Insertion-order drain
+//!
+//! Within one slot the engine processes packets in **insertion order**: the
+//! order in which their events were [`schedule`](FlatWakeQueue::schedule)d,
+//! across the whole run. [`FlatWakeQueue::take`] therefore just hands back
+//! the bucket as-is — no per-slot sort — because a bucket is *already* in
+//! insertion order:
+//!
+//! * direct pushes land in the bucket in call order, and every `schedule`
+//!   call carries an implicit global sequence number (its position in the
+//!   run's schedule-call stream);
+//! * far events are keyed by `(slot, seq)` in the overflow heap, so when a
+//!   slot's far events migrate inward they arrive in ascending-seq order;
+//! * far and direct pushes for one slot cannot interleave: an event for
+//!   slot `s` goes far only while `s ≥ horizon` and direct only while
+//!   `s < horizon`, and the horizon never decreases — so every far event
+//!   for `s` precedes (in seq) every direct event for `s`, and the
+//!   migration happens at the exact `advance_to` that makes direct pushes
+//!   to `s` possible.
+//!
+//! [`RunResult`]: crate::metrics::RunResult
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::engine::wake::{cap_scratch, WakeSet};
+use crate::time::Slot;
+
+/// Number of slots covered by the ring. Backoff protocols at paper scale
+/// sleep for gaps whose mean is far below this, so overflow into the far
+/// heap is rare; 4096 buckets keep the hot metadata inside L2.
+const RING: usize = 1 << 12;
+const MASK: usize = RING - 1;
+const WORDS: usize = RING / 64;
+
+/// Retained capacity (in events) of a drained bucket's spill vector.
+const BUCKET_CAP: usize = 64;
+
+/// Events stored inline in a bucket before spilling to its vector. Sized
+/// so one bucket is exactly one cache line.
+const INLINE: usize = 6;
+
+/// One calendar bucket: a cache-line cell holding its slot's pending ids
+/// in insertion order — the first [`INLINE`] inline, the rest in `spill`.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Bucket {
+    /// Ids pushed while `len < INLINE`; `inline[..len]` is valid.
+    inline: [u32; INLINE],
+    /// Inline occupancy (spilling starts only once this hits `INLINE`).
+    len: u32,
+    /// Overflow beyond the inline cell, still in push order.
+    spill: Vec<u32>,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            inline: [0; INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Total pending events in this bucket.
+    #[inline]
+    fn count(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// Appends `id`, preserving push order across the inline/spill split.
+    #[inline]
+    fn push(&mut self, id: u32) {
+        let n = self.len as usize;
+        if n < INLINE {
+            self.inline[n] = id;
+            self.len += 1;
+        } else {
+            self.spill.push(id);
+        }
+    }
+}
+
+/// The PR 2–4 flat calendar queue of pending wake events, keyed by
+/// absolute slot — now a test-only oracle (see the module docs).
+///
+/// Slots must be consumed in nondecreasing order via
+/// [`FlatWakeQueue::advance_to`] + [`FlatWakeQueue::take`]; events may only
+/// be scheduled at or after the current base slot. Within one slot, events
+/// come back in insertion order (the order of the `schedule` calls).
+#[derive(Debug)]
+pub struct FlatWakeQueue {
+    /// Start of the ring window `[base, base + RING)`.
+    base: Slot,
+    /// Events currently stored in ring buckets (excludes the far heap).
+    in_ring: usize,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Cached `base + RING`, the first slot past the ring window.
+    horizon: Slot,
+    /// Position of the next `schedule` call in the run's global schedule
+    /// stream. Far events carry it so migration replays insertion order.
+    seq: u64,
+    /// `buckets[slot % RING]` holds the ids waking in `slot`, in insertion
+    /// order, inline-first (see [`Bucket`]).
+    buckets: Box<[Bucket; RING]>,
+    /// Events beyond the ring horizon, keyed `(slot, seq, id)` and migrated
+    /// inward by `advance_to` in that order.
+    far: BinaryHeap<Reverse<(Slot, u64, u32)>>,
+}
+
+impl Default for FlatWakeQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlatWakeQueue {
+    /// Width in slots of the in-ring scheduling window `[base, base +
+    /// WINDOW)`; events at or past `base + WINDOW` spill into the far heap.
+    pub const WINDOW: u64 = RING as u64;
+
+    /// An empty queue with its window starting at slot 0.
+    pub fn new() -> Self {
+        let buckets: Box<[Bucket; RING]> = (0..RING)
+            .map(|_| Bucket::new())
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("RING buckets");
+        FlatWakeQueue {
+            base: 0,
+            in_ring: 0,
+            occupied: [0; WORDS],
+            horizon: RING as u64,
+            seq: 0,
+            buckets,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    /// Whether no event is pending anywhere.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.in_ring == 0 && self.far.is_empty()
+    }
+
+    /// Schedules packet `id` to wake in `slot` (which must be ≥ the current
+    /// base).
+    #[inline]
+    pub fn schedule(&mut self, slot: Slot, id: u32) {
+        debug_assert!(slot >= self.base, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        if slot < self.horizon {
+            let idx = (slot as usize) & MASK;
+            self.buckets[idx].push(id);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            self.in_ring += 1;
+        } else {
+            self.far.push(Reverse((slot, seq, id)));
+        }
+    }
+
+    /// Debug-only invariant check used by the model proptest: the spill
+    /// vector may be non-empty only when the inline cell is full.
+    #[cfg(test)]
+    pub(crate) fn bucket_shape(&self, slot: Slot) -> (usize, usize) {
+        let b = &self.buckets[(slot as usize) & MASK];
+        (b.len as usize, b.spill.len())
+    }
+
+    /// The earliest slot with a pending event, if any.
+    pub fn next_slot(&self) -> Option<Slot> {
+        if self.in_ring > 0 {
+            // Ring events always precede far events (far ≥ base + RING).
+            Some(self.next_ring_slot())
+        } else {
+            self.far.peek().map(|Reverse((s, _, _))| *s)
+        }
+    }
+
+    /// Scans the occupancy bitmap circularly from `base` for the earliest
+    /// non-empty bucket. Caller guarantees `in_ring > 0`.
+    fn next_ring_slot(&self) -> Slot {
+        let start = (self.base as usize) & MASK;
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.occupied[w0] & (!0u64 << b0);
+        if first != 0 {
+            return self.slot_of(w0 * 64 + first.trailing_zeros() as usize);
+        }
+        for i in 1..WORDS {
+            let w = (w0 + i) % WORDS;
+            let m = self.occupied[w];
+            if m != 0 {
+                return self.slot_of(w * 64 + m.trailing_zeros() as usize);
+            }
+        }
+        // Wrapped remainder of the first word (bits below b0).
+        let last = self.occupied[w0] & !(!0u64 << b0);
+        debug_assert!(last != 0, "in_ring > 0 but no occupied bucket");
+        self.slot_of(w0 * 64 + last.trailing_zeros() as usize)
+    }
+
+    /// Absolute slot of the bucket at bitmap position `bit`, relative to the
+    /// current window.
+    #[inline]
+    fn slot_of(&self, bit: usize) -> Slot {
+        let start = (self.base as usize) & MASK;
+        let delta = (bit + RING - start) & MASK;
+        self.base + delta as u64
+    }
+
+    /// Moves the window start forward to `t` and migrates far events that
+    /// now fit inside the ring.
+    ///
+    /// All buckets in `[base, t)` must already be empty — the engine only
+    /// ever advances to the next pending slot, so this holds by
+    /// construction.
+    pub fn advance_to(&mut self, t: Slot) {
+        debug_assert!(t >= self.base, "time moved backwards");
+        self.base = t;
+        self.horizon = t.saturating_add(RING as u64);
+        // Pops come out keyed `(slot, seq, _)`, so each bucket receives its
+        // slot's migrants in ascending insertion order — and any direct
+        // push to those slots can only happen after this migration (the
+        // slot was at or past the horizon until now), keeping the whole
+        // bucket insertion-ordered.
+        while let Some(&Reverse((s, _, id))) = self.far.peek() {
+            if s >= self.horizon {
+                break;
+            }
+            self.far.pop();
+            let idx = (s as usize) & MASK;
+            self.buckets[idx].push(id);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            self.in_ring += 1;
+        }
+    }
+
+    /// Drains every event scheduled for slot `t` (which must lie inside the
+    /// current window), appending the ids to `out` in insertion order (the
+    /// order of the `schedule` calls). Entries already in `out` are left
+    /// untouched.
+    pub fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
+        debug_assert!(t >= self.base && t < self.horizon);
+        let idx = (t as usize) & MASK;
+        let bucket = &mut self.buckets[idx];
+        let n = bucket.count();
+        if n == 0 {
+            return;
+        }
+        self.in_ring -= n;
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        // Inline entries were pushed strictly before any spill entry, so
+        // inline-then-spill is push order.
+        out.extend_from_slice(&bucket.inline[..bucket.len as usize]);
+        bucket.len = 0;
+        out.append(&mut bucket.spill);
+        cap_scratch(&mut bucket.spill, BUCKET_CAP);
+    }
+}
+
+impl WakeSet for FlatWakeQueue {
+    fn new() -> Self {
+        FlatWakeQueue::new()
+    }
+    #[inline]
+    fn schedule(&mut self, slot: Slot, id: u32) {
+        FlatWakeQueue::schedule(self, slot, id)
+    }
+    #[inline]
+    fn next_slot(&self) -> Option<Slot> {
+        FlatWakeQueue::next_slot(self)
+    }
+    #[inline]
+    fn advance_to(&mut self, t: Slot) {
+        FlatWakeQueue::advance_to(self, t)
+    }
+    #[inline]
+    fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
+        FlatWakeQueue::take(self, t, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the queue fully, returning (slot, insertion-ordered ids) per
+    /// event slot.
+    fn drain(q: &mut FlatWakeQueue) -> Vec<(Slot, Vec<u32>)> {
+        let mut events = Vec::new();
+        let mut out = Vec::new();
+        while let Some(s) = q.next_slot() {
+            q.advance_to(s);
+            out.clear();
+            q.take(s, &mut out);
+            assert!(!out.is_empty(), "next_slot pointed at an empty slot");
+            events.push((s, out.clone()));
+        }
+        events
+    }
+
+    #[test]
+    fn empty_queue_has_no_next() {
+        let q = FlatWakeQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_slot(), None);
+    }
+
+    #[test]
+    fn orders_by_slot_then_insertion() {
+        let mut q = FlatWakeQueue::new();
+        q.schedule(5, 2);
+        q.schedule(3, 7);
+        q.schedule(5, 1);
+        q.schedule(3, 0);
+        let events = drain(&mut q);
+        // Within a slot, ids come back in schedule-call order, not sorted.
+        assert_eq!(events, vec![(3, vec![7, 0]), (5, vec![2, 1])]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_events_migrate_into_the_ring_in_insertion_order() {
+        let mut q = FlatWakeQueue::new();
+        q.schedule(2, 1);
+        q.schedule(1_000_000, 3); // far beyond the ring
+        q.schedule(1_000_000, 2);
+        q.schedule(50_000, 9);
+        let events = drain(&mut q);
+        // Slot 1_000_000 drains [3, 2]: the far heap is keyed (slot, seq),
+        // so migration replays the schedule-call order, not id order.
+        assert_eq!(
+            events,
+            vec![(2, vec![1]), (50_000, vec![9]), (1_000_000, vec![3, 2])]
+        );
+    }
+
+    #[test]
+    fn far_migrants_precede_direct_pushes_in_their_bucket() {
+        // An event scheduled while its slot was beyond the horizon must
+        // drain before one scheduled directly once the window had advanced
+        // — that is the (slot, seq) order, since the far schedule happened
+        // first.
+        let target = FlatWakeQueue::WINDOW + 100;
+        let mut q = FlatWakeQueue::new();
+        q.schedule(target, 9); // far (beyond horizon at base 0)
+        q.schedule(200, 1);
+        let mut out = Vec::new();
+        q.advance_to(200);
+        q.take(200, &mut out);
+        assert_eq!(out, vec![1]);
+        // `target` is now inside the window: the far event has migrated,
+        // and a direct push appends after it despite the smaller id.
+        q.schedule(target, 4);
+        q.advance_to(target);
+        out.clear();
+        q.take(target, &mut out);
+        assert_eq!(out, vec![9, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ring_boundary_exactly_at_horizon() {
+        let mut q = FlatWakeQueue::new();
+        // One event at the last in-window slot, one just past the horizon.
+        q.schedule(RING as u64 - 1, 1);
+        q.schedule(RING as u64, 2);
+        let events = drain(&mut q);
+        assert_eq!(
+            events,
+            vec![(RING as u64 - 1, vec![1]), (RING as u64, vec![2])]
+        );
+    }
+
+    #[test]
+    fn schedule_and_take_at_window_edge_slots() {
+        // Pin the `schedule`/`take` window contract at the exact edge: with
+        // the window at `[base, base + RING)`, slot `base + RING - 1` is the
+        // last ring-resident slot (and the last slot `take` may be asked
+        // for), while `base + RING` must overflow into the far heap and
+        // migrate back in once the window has advanced. A non-zero,
+        // non-multiple-of-RING base exercises the index wrap too.
+        let base = 3 * RING as u64 + 17;
+        let mut q = FlatWakeQueue::new();
+        q.advance_to(base);
+        q.schedule(base + RING as u64 - 1, 7); // last in-window slot
+        q.schedule(base + RING as u64, 8); // first beyond: far heap
+        q.schedule(base, 3); // window start is schedulable too
+        assert_eq!(q.next_slot(), Some(base));
+        let mut out = Vec::new();
+        q.take(base, &mut out);
+        assert_eq!(out, vec![3]);
+        assert_eq!(q.next_slot(), Some(base + RING as u64 - 1));
+        // Take at the very last in-window slot without advancing: `t` sits
+        // exactly at `horizon - 1`, the debug_assert's boundary.
+        out.clear();
+        q.take(base + RING as u64 - 1, &mut out);
+        assert_eq!(out, vec![7]);
+        // The far event becomes visible and migrates on advance.
+        assert_eq!(q.next_slot(), Some(base + RING as u64));
+        q.advance_to(base + RING as u64);
+        out.clear();
+        q.take(base + RING as u64, &mut out);
+        assert_eq!(out, vec![8]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_event_exactly_at_new_horizon_stays_far() {
+        // After advance_to(t), an event at `t + RING` is exactly at the new
+        // horizon and must stay in the far heap (the ring bucket for that
+        // slot index is `t`'s own bucket).
+        let mut q = FlatWakeQueue::new();
+        q.schedule(100, 1);
+        q.schedule(100 + RING as u64, 2); // == horizon after advance_to(100)
+        q.advance_to(100);
+        let mut out = Vec::new();
+        q.take(100, &mut out);
+        assert_eq!(out, vec![1]);
+        // Event 2 is still pending and correctly ordered.
+        assert_eq!(q.next_slot(), Some(100 + RING as u64));
+        q.advance_to(100 + RING as u64);
+        out.clear();
+        q.take(100 + RING as u64, &mut out);
+        assert_eq!(out, vec![2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraparound_scan_finds_earlier_bucket_index() {
+        let mut q = FlatWakeQueue::new();
+        q.advance_to(RING as u64 - 2);
+        // Bucket indices wrap: slot RING+1 maps below the base index.
+        q.schedule(RING as u64 + 1, 4);
+        q.schedule(RING as u64 - 1, 3);
+        let events = drain(&mut q);
+        assert_eq!(
+            events,
+            vec![(RING as u64 - 1, vec![3]), (RING as u64 + 1, vec![4])]
+        );
+    }
+
+    #[test]
+    fn matches_seq_keyed_reference_heap_on_random_workload() {
+        // The reference oracle keys its heap (slot, seq): pop order within
+        // a slot is schedule-call order. The calendar queue must drain in
+        // exactly that order on a workload mixing near and far delays.
+        use crate::rng::SimRng;
+        let mut rng = SimRng::new(42);
+        let mut q = FlatWakeQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Slot, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for id in 0..512u32 {
+            let s = rng.range_u64(64);
+            q.schedule(s, id);
+            heap.push(Reverse((s, seq, id)));
+            seq += 1;
+        }
+        let mut processed = 0u32;
+        while let Some(s) = q.next_slot() {
+            q.advance_to(s);
+            let mut got = Vec::new();
+            q.take(s, &mut got);
+            for &id in &got {
+                let Reverse((hs, _, hid)) = heap.pop().expect("heap in sync");
+                assert_eq!((hs, hid), (s, id));
+                processed += 1;
+                // Reschedule a while: mixed near/far delays.
+                if processed < 4_000 {
+                    let d = 1 + rng.range_u64(10_000);
+                    q.schedule(s + d, id);
+                    heap.push(Reverse((s + d, seq, id)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(heap.is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_on_eventless_slot_is_a_noop() {
+        let mut q = FlatWakeQueue::new();
+        q.schedule(10, 1);
+        q.advance_to(5);
+        let mut out = Vec::new();
+        q.take(5, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(q.next_slot(), Some(10));
+    }
+
+    #[test]
+    fn oversized_bucket_capacity_is_released_after_drain() {
+        // A collision burst parks far more events in one slot than the
+        // steady state ever will; the drained bucket must give the memory
+        // back instead of pinning it for the rest of the run.
+        let mut q = FlatWakeQueue::new();
+        let burst = 16 * BUCKET_CAP as u32;
+        for id in 0..burst {
+            q.schedule(7, id);
+        }
+        let mut out = Vec::new();
+        q.advance_to(7);
+        q.take(7, &mut out);
+        assert_eq!(out.len(), burst as usize);
+        assert_eq!(out, (0..burst).collect::<Vec<_>>());
+        assert!(
+            q.buckets[7].spill.capacity() <= BUCKET_CAP,
+            "bucket kept {} spill capacity",
+            q.buckets[7].spill.capacity()
+        );
+        // A modest bucket keeps its warm spill allocation (hysteresis).
+        for id in 0..BUCKET_CAP as u32 {
+            q.schedule(9, id);
+        }
+        let before = q.buckets[9].spill.capacity();
+        out.clear();
+        q.take(9, &mut out);
+        assert_eq!(q.buckets[9].spill.capacity(), before);
+    }
+
+    mod model {
+        //! The flat ring against an insertion-order `BTreeMap` model — the
+        //! same model the hierarchical wheel's (wider) proptest uses in
+        //! `wake.rs`.
+
+        use super::*;
+        use proptest::prelude::*;
+        use proptest::test_runner::TestCaseError;
+        use std::collections::BTreeMap;
+
+        /// Takes slot `t` from both structures and asserts they agree.
+        fn take_and_check(
+            q: &mut FlatWakeQueue,
+            model: &mut BTreeMap<Slot, Vec<u32>>,
+            t: Slot,
+        ) -> Result<(), TestCaseError> {
+            prop_assert_eq!(Some(t), model.keys().next().copied());
+            q.advance_to(t);
+            let mut got = Vec::new();
+            q.take(t, &mut got);
+            let want = model.remove(&t).expect("model has the slot");
+            prop_assert_eq!(&got, &want);
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn drains_in_model_order(
+                // Bases straddling ring multiples exercise index wrap.
+                start in 0u64..3 * FlatWakeQueue::WINDOW,
+                // Deltas up to WINDOW + 2 cover in-ring, the exact horizon
+                // (== WINDOW, which must spill far), and beyond.
+                batches in proptest::collection::vec(
+                    proptest::collection::vec(0u64..FlatWakeQueue::WINDOW + 3, 1..8),
+                    1..40,
+                ),
+            ) {
+                let mut q = FlatWakeQueue::new();
+                let mut model: BTreeMap<Slot, Vec<u32>> = BTreeMap::new();
+                q.advance_to(start);
+                let mut now = start;
+                let mut next_id = 0u32;
+                for batch in &batches {
+                    for &delta in batch {
+                        let slot = now + delta;
+                        q.schedule(slot, next_id);
+                        model.entry(slot).or_default().push(next_id);
+                        next_id += 1;
+                        // Inline/spill split invariant: spilling only
+                        // happens once the inline cell is full.
+                        let (inline, spill) = q.bucket_shape(slot);
+                        prop_assert!(spill == 0 || inline == INLINE);
+                    }
+                    // Drain one event slot, keeping the two in lockstep.
+                    let next = q.next_slot().expect("events pending");
+                    take_and_check(&mut q, &mut model, next)?;
+                    now = next;
+                }
+                // Drain the rest.
+                while let Some(next) = q.next_slot() {
+                    take_and_check(&mut q, &mut model, next)?;
+                }
+                prop_assert!(model.is_empty());
+                prop_assert!(q.is_empty());
+            }
+        }
+    }
+}

@@ -47,7 +47,9 @@ use std::fmt;
 
 use crate::arrivals::ArrivalProcess;
 use crate::config::{Limits, SimConfig};
-use crate::engine::{run_dense, run_grouped, run_sparse, run_sparse_reference, SymmetricProtocol};
+use crate::engine::{
+    run_dense, run_grouped, run_sparse, run_sparse_flat, run_sparse_reference, SymmetricProtocol,
+};
 use crate::hooks::{Hooks, NoHooks};
 use crate::jamming::{Jammer, NoJam};
 use crate::metrics::{MetricsConfig, RunResult};
@@ -225,6 +227,24 @@ where
             self.jammer.clone(),
             factory,
             hooks,
+        )
+    }
+
+    /// Runs the scenario on the sparse loop over the retained flat
+    /// calendar ring ([`run_sparse_flat`]) — the second oracle of the
+    /// three-way equivalence suite (hierarchical wheel vs flat ring vs
+    /// heap reference). Intended for validation only.
+    pub fn run_sparse_flat<P, F>(&self, factory: F) -> RunResult
+    where
+        P: SparseProtocol,
+        F: FnMut(&mut SimRng) -> P,
+    {
+        run_sparse_flat(
+            &self.sim_config(),
+            self.arrivals.clone(),
+            self.jammer.clone(),
+            factory,
+            &mut NoHooks,
         )
     }
 

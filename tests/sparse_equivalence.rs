@@ -15,6 +15,14 @@
 //! configurations, and seeds, by comparing complete [`RunResult`]s —
 //! totals, per-packet statistics, and trajectory series — with exact
 //! equality.
+//!
+//! Since the hierarchical wheel became the production wake set, the suite
+//! is **three-way**: the wheel is also pinned against the retained flat
+//! calendar ring (`run_sparse_flat`, the PR 2–6 production queue running
+//! under the *same* generic loop body). The heap reference checks the
+//! loop; the flat ring checks the queue — a structurally different
+//! single-level schedule that must still drain in the identical
+//! (slot, insertion-seq) order through every cascade the wheel performs.
 
 use lowsense::{lsb, LowSensing, Params};
 use lowsense_baselines::{
@@ -37,6 +45,23 @@ fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
     for (i, (sa, sb)) in a.series.iter().zip(&b.series).enumerate() {
         assert_eq!(sa, sb, "{what}: series point {i}");
     }
+}
+
+/// Three-way check of one scenario: hierarchical wheel (production) vs
+/// flat calendar ring (retained queue oracle) vs heap reference (loop
+/// oracle), all bit-identical.
+fn assert_three_way<A, J, P, F>(s: &Scenario<A, J>, factory: F, what: &str)
+where
+    A: ArrivalProcess + Clone,
+    J: Jammer + Clone,
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P + Clone,
+{
+    let wheel = s.run_sparse(factory.clone());
+    let flat = s.run_sparse_flat(factory.clone());
+    let heap = s.run_sparse_reference(factory);
+    assert_identical(&wheel, &flat, &format!("{what}: wheel vs flat ring"));
+    assert_identical(&wheel, &heap, &format!("{what}: wheel vs heap reference"));
 }
 
 /// Every registry scenario, LSB protocol, three seeds: identical results.
@@ -136,10 +161,83 @@ fn far_horizon_wakeups_bit_identical() {
         .seed(2)
         .until_slot(400_000);
     let factory = |_: &mut SimRng| LowSensing::with_window(Params::default(), 5e7);
-    assert_identical(
-        &s.run_sparse(factory),
-        &s.run_sparse_reference(factory),
-        "long-sleepers",
+    // Three-way on purpose: 5e7-slot wakes land in the wheel's coarse
+    // levels (and cascade down) but in the flat ring's overflow heap — the
+    // two queues disagree structurally the most on exactly this workload.
+    assert_three_way(&s, factory, "long-sleepers");
+}
+
+/// The full canonical registry under the three-way check: every scenario
+/// (clean, jammed, bursty, reactive, streaming), two seeds, LSB.
+#[test]
+fn registry_three_way_bit_identical() {
+    for scenario in scenarios::registry(64) {
+        for seed in [2, 77] {
+            let s = scenario.seeded(seed);
+            let what = format!("{} (seed {seed})", s.name());
+            assert_three_way(&s, lsb(), &what);
+        }
+    }
+}
+
+/// Adversarial scheduling under the three-way check: reactive jammers see
+/// the sender sets the queues hand the loop, so any drain-order skew
+/// between the three wake sets would surface here as diverging jam
+/// decisions, not just shuffled floats.
+#[test]
+fn reactive_adversaries_three_way_bit_identical() {
+    assert_three_way(
+        &scenarios::reactive_dos_batch(64, 40).seed(15),
+        lsb(),
+        "reactive-dos",
+    );
+    let sniper = Scenario::named("sniper")
+        .arrivals(Batch::new(32))
+        .jammer(WithReactive::new(
+            RandomJam::new(0.1),
+            ReactiveTargeted::new(PacketId(3), 8),
+        ))
+        .seed(19);
+    assert_three_way(&sniper, lsb(), "sniper");
+}
+
+/// All seven protocols of the equivalence suite under the three-way check
+/// on a jammed batch: the protocols differ in scheduling shape
+/// (deterministic countdowns, memoryless draws, every-slot listeners,
+/// multiplicative ladders), so together they exercise every queue path —
+/// L0 pushes, coarse placements, cascades, and the far heap.
+#[test]
+fn seven_protocols_three_way_bit_identical() {
+    let s = scenarios::random_jam_batch(48, 0.15)
+        .seed(23)
+        .until_slot(5_000);
+    assert_three_way(&s, lsb(), "lsb");
+    assert_three_way(&s, |_: &mut SimRng| ProbBeb::new(0.25), "prob-beb");
+    assert_three_way(&s, |_: &mut SimRng| SlottedAloha::new(1.0 / 48.0), "aloha");
+    assert_three_way(
+        &s,
+        |rng: &mut SimRng| WindowedBeb::new(4, 16, rng),
+        "windowed-beb",
+    );
+    assert_three_way(
+        &s,
+        |rng: &mut SimRng| PolynomialBackoff::new(4, 2, rng),
+        "polynomial",
+    );
+    assert_three_way(
+        &s,
+        |_: &mut SimRng| CjpMwu::new(CjpConfig::default()),
+        "cjp (every-slot listener)",
+    );
+    let cfg = VariantConfig {
+        update: UpdateRule::Factor(2.0),
+        coupling: Coupling::Independent,
+        ..VariantConfig::paper(0.5, 4.0)
+    };
+    assert_three_way(
+        &s,
+        move |_: &mut SimRng| LowSensingVariant::new(cfg),
+        "lowsensing-variant",
     );
 }
 
