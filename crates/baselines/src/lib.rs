@@ -10,6 +10,7 @@
 //! | [`SlottedAloha`] | none (genie `p = 1/N`) | the `1/e` reference line |
 //! | [`CjpMwu`] | **every slot** | short-feedback-loop MWU (\[36\]); constant throughput, `Θ(lifetime)` listens |
 //! | [`LowSensingVariant`] | tunable | ablations A2–A4 |
+//! | [`NoCdBackoff`] | successes + own failures only | robust on the no-collision-detection channel (Jiang–Zheng, arXiv:2111.06650) |
 //!
 //! All implement the `lowsense-sim` protocol traits and run under the same
 //! engines, adversaries, and metrics as the core algorithm.
@@ -20,11 +21,13 @@
 pub mod aloha;
 pub mod beb;
 pub mod cjp;
+pub mod nocd;
 pub mod polynomial;
 pub mod variant;
 
 pub use aloha::SlottedAloha;
 pub use beb::{ProbBeb, WindowedBeb};
 pub use cjp::{CjpConfig, CjpMwu};
+pub use nocd::NoCdBackoff;
 pub use polynomial::PolynomialBackoff;
 pub use variant::{Coupling, LowSensingVariant, UpdateRule, VariantConfig};

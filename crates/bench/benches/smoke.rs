@@ -15,11 +15,15 @@
 //! million-station capacity tier `sparse_lsb_1M` (n = 10^6 batch-injected,
 //! short horizon) and a `capacity` section with its measured
 //! bytes-per-station budget — engine overhead only (wake wheel + table
-//! bookkeeping lanes), with protocol state reported separately:
+//! bookkeeping lanes), with protocol state reported separately; schema 6
+//! adds the channel-model smoke entry `sparse_lsb_16384_nocd` (the same
+//! LSB batch on the no-collision-detection channel, horizon capped because
+//! full-sensing LSB livelocks there — the entry times the model dispatch
+//! path, not a drain):
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/5",
+//!   "schema": "lowsense-bench-engine/6",
 //!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
 //!                            "accesses": A, "accesses_per_sec": Q } },
 //!   "campaign": { "<name>": { "cells": C, "runs": U, "seconds": S,
@@ -143,6 +147,19 @@ fn main() {
                 .seeded(seed)
                 .run_sparse_reference(|_| LowSensing::new(Params::default()))
         }),
+        // The no-CD channel entry: the same LSB batch with collisions
+        // reported as silence. LSB never drains here (it walks the wrong
+        // way and livelocks at maximum aggression), so the horizon is hard
+        // capped and fewer reps suffice — the entry exists to time the
+        // feedback-model dispatch in the slot loop, and to keep a perf
+        // trajectory for the non-ternary resolve path.
+        measure_reps("sparse_lsb_16384_nocd", 2, |seed| {
+            scenarios::nocd_batch(16_384)
+                .totals_only()
+                .until_slot(10_000)
+                .seeded(seed)
+                .run_sparse(|_| LowSensing::new(Params::default()))
+        }),
         // The capacity tier: 10^6 stations on the hierarchical wheel, horizon
         // capped. Stresses station count (queue fill, table lanes, cascade
         // traffic), not horizon length.
@@ -193,7 +210,7 @@ fn main() {
     );
 
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/5\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/6\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(

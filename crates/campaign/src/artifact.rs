@@ -1,7 +1,8 @@
 //! Machine-readable campaign artifacts (`CAMPAIGN_<name>.json`) and the
 //! human-readable table.
 //!
-//! The JSON is schema-versioned (`lowsense-campaign/1`) like
+//! The JSON is schema-versioned (`lowsense-campaign/2` — `/2` added the
+//! top-level `models` axis and the per-cell `model` key) like
 //! `BENCH_engine.json`, and is emitted by a deterministic hand-rolled
 //! writer: keys in fixed order, floats via Rust's shortest-roundtrip
 //! `Display` — so the artifact bytes are a pure function of the
@@ -19,7 +20,7 @@ use lowsense_stats::Welford;
 use crate::exec::{CampaignResult, CellReport};
 
 /// Schema tag of the JSON artifact.
-pub const SCHEMA: &str = "lowsense-campaign/1";
+pub const SCHEMA: &str = "lowsense-campaign/2";
 
 /// Escapes a string for a JSON literal.
 fn esc(s: &str) -> String {
@@ -66,10 +67,12 @@ fn cell_json(cell: &CellReport, out: &mut String) {
     let s = &cell.stats;
     let _ = write!(
         out,
-        "    {{\n      \"cell_index\": {}, \"scenario\": \"{}\", \"protocol\": \"{}\",\n",
+        "    {{\n      \"cell_index\": {}, \"scenario\": \"{}\", \"protocol\": \"{}\", \
+         \"model\": \"{}\",\n",
         cell.cell_index,
         esc(&cell.scenario),
-        esc(&cell.protocol)
+        esc(&cell.protocol),
+        esc(&cell.model)
     );
     let knobs: Vec<String> = cell
         .knobs
@@ -81,7 +84,7 @@ fn cell_json(cell: &CellReport, out: &mut String) {
         out,
         "      \"runs\": {}, \"totals\": {{ \"arrivals\": {}, \"successes\": {}, \
          \"active_slots\": {}, \"jammed_active\": {}, \"sends\": {}, \"listens\": {}, \
-         \"max_backlog\": {} }},",
+         \"overhead_slots\": {}, \"max_backlog\": {} }},",
         s.runs,
         s.arrivals,
         s.successes,
@@ -89,6 +92,7 @@ fn cell_json(cell: &CellReport, out: &mut String) {
         s.jammed_active,
         s.sends,
         s.listens,
+        s.overhead_slots,
         s.max_backlog
     );
     let _ = writeln!(
@@ -153,6 +157,7 @@ impl CampaignResult {
         };
         let _ = writeln!(out, "  \"scenarios\": [{}],", axis(&self.scenarios));
         let _ = writeln!(out, "  \"protocols\": [{}],", axis(&self.protocols));
+        let _ = writeln!(out, "  \"models\": [{}],", axis(&self.models));
         let _ = writeln!(out, "  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             cell_json(cell, &mut out);
@@ -171,25 +176,29 @@ impl CampaignResult {
     /// Renders an aligned human-readable table: one row per cell with the
     /// headline statistics.
     pub fn render(&self) -> String {
-        let header = [
-            "scenario".to_string(),
-            "protocol".to_string(),
-            "runs".to_string(),
-            "thr.mean".to_string(),
-            "thr.se".to_string(),
-            "acc.mean".to_string(),
-            "acc.p50".to_string(),
-            "acc.p99".to_string(),
-            "acc.max".to_string(),
-        ];
-        let mut rows: Vec<[String; 9]> = Vec::with_capacity(self.cells.len());
+        // The model column only appears when the campaign had a model
+        // axis, so plain sweeps render exactly as before.
+        let with_models = !self.models.is_empty();
+        let mut header = vec!["scenario".to_string(), "protocol".to_string()];
+        if with_models {
+            header.push("model".to_string());
+        }
+        header.extend(
+            [
+                "runs", "thr.mean", "thr.se", "acc.mean", "acc.p50", "acc.p99", "acc.max",
+            ]
+            .map(String::from),
+        );
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.cells.len());
         for cell in &self.cells {
             let s = &cell.stats;
             let thr = s.throughput.summary();
             let acc = s.accesses.summary();
-            rows.push([
-                cell.scenario.clone(),
-                cell.protocol.clone(),
+            let mut row = vec![cell.scenario.clone(), cell.protocol.clone()];
+            if with_models {
+                row.push(cell.model.clone());
+            }
+            row.extend([
                 s.runs.to_string(),
                 format!("{:.3}", thr.mean),
                 format!("{:.3}", thr.se),
@@ -198,6 +207,7 @@ impl CampaignResult {
                 format!("{:.0}", s.access_sketch.quantile(0.99)),
                 format!("{:.0}", acc.max),
             ]);
+            rows.push(row);
         }
         let mut widths: Vec<usize> = header.iter().map(String::len).collect();
         for row in &rows {

@@ -39,6 +39,9 @@ pub struct CellStats {
     pub sends: u64,
     /// Pure listens.
     pub listens: u64,
+    /// Overhead slots charged by the channel model (zero except under
+    /// costly-collision channels).
+    pub overhead_slots: u64,
     /// Largest backlog observed in any run.
     pub max_backlog: u64,
     /// Per-run throughput `(T+J)/S` distribution across replicates.
@@ -84,6 +87,7 @@ impl CellStats {
             jammed_active: t.jammed_active,
             sends: t.sends,
             listens: t.listens,
+            overhead_slots: t.overhead_slots,
             max_backlog: t.max_backlog,
             throughput,
             accesses,
@@ -104,6 +108,7 @@ impl CellStats {
         self.jammed_active += other.jammed_active;
         self.sends += other.sends;
         self.listens += other.listens;
+        self.overhead_slots += other.overhead_slots;
         self.max_backlog = self.max_backlog.max(other.max_backlog);
         self.throughput.merge(&other.throughput);
         self.accesses.merge(&other.accesses);

@@ -30,12 +30,15 @@ use std::collections::BTreeMap;
 /// statistics of its replicates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
-    /// Scenario-major cell index.
+    /// Scenario-major, model-innermost cell index.
     pub cell_index: usize,
     /// Scenario axis label.
     pub scenario: String,
     /// Protocol axis label.
     pub protocol: String,
+    /// Channel-model label of the cell: the explicit axis entry, or the
+    /// scenario's intrinsic channel when no axis was declared.
+    pub model: String,
     /// Knob annotations of the scenario point.
     pub knobs: BTreeMap<String, f64>,
     /// Merged replicate statistics.
@@ -55,19 +58,46 @@ pub struct CampaignResult {
     pub protocols: Vec<String>,
     /// Scenario axis labels.
     pub scenarios: Vec<String>,
-    /// Cell reports, indexed by `scenario_idx · protocols + protocol_idx`.
+    /// Explicit channel-model axis labels; empty when the campaign had no
+    /// model dimension (scenarios kept their intrinsic channels).
+    pub models: Vec<String>,
+    /// Cell reports, indexed scenario-major with the model axis innermost:
+    /// `(scenario_idx · protocols + protocol_idx) · models + model_idx`.
     pub cells: Vec<CellReport>,
 }
 
 impl CampaignResult {
-    /// The cell at `(scenario_idx, protocol_idx)`.
+    /// Width of the model dimension (1 when no explicit axis).
+    fn model_count(&self) -> usize {
+        self.models.len().max(1)
+    }
+
+    /// The cell at `(scenario_idx, protocol_idx)` in the first model
+    /// column — without an explicit model axis, *the* cell there.
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
     pub fn cell(&self, scenario_idx: usize, protocol_idx: usize) -> &CellReport {
+        self.cell_model(scenario_idx, protocol_idx, 0)
+    }
+
+    /// The cell at `(scenario_idx, protocol_idx, model_idx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn cell_model(
+        &self,
+        scenario_idx: usize,
+        protocol_idx: usize,
+        model_idx: usize,
+    ) -> &CellReport {
         assert!(protocol_idx < self.protocols.len(), "protocol index");
-        &self.cells[scenario_idx * self.protocols.len() + protocol_idx]
+        assert!(model_idx < self.model_count(), "model index");
+        let cell =
+            (scenario_idx * self.protocols.len() + protocol_idx) * self.model_count() + model_idx;
+        &self.cells[cell]
     }
 }
 
@@ -76,11 +106,18 @@ fn run_unit(spec: &CampaignSpec, unit: usize) -> CellStats {
     let replicates = spec.replicates as usize;
     let cell = unit / replicates;
     let replicate = unit % replicates;
-    let scenario_idx = cell / spec.protocols.len();
-    let protocol_idx = cell % spec.protocols.len();
+    // Model axis innermost, then protocols, then scenarios — the same
+    // decomposition `CampaignSpec::cell_index_model` composes.
+    let model_idx = cell % spec.model_count();
+    let rest = cell / spec.model_count();
+    let protocol_idx = rest % spec.protocols.len();
+    let scenario_idx = rest / spec.protocols.len();
     let seed = cell_seed(spec.seed, cell as u64, replicate as u64);
     let point = &spec.scenarios[scenario_idx];
-    let seeded = point.scenario().seeded(seed);
+    let mut seeded = point.scenario().seeded(seed);
+    if let Some(model) = spec.models.get(model_idx) {
+        seeded = seeded.model(*model);
+    }
     let result = spec.protocols[protocol_idx].run(&seeded, point.knobs());
     CellStats::of_run(&result, &spec.metrics)
 }
@@ -94,17 +131,24 @@ fn fold(spec: &CampaignSpec, unit_stats: Vec<CellStats>) -> CampaignResult {
     let mut cells = Vec::with_capacity(spec.cell_count());
     for (scenario_idx, point) in spec.scenarios.iter().enumerate() {
         for (protocol_idx, proto) in spec.protocols.iter().enumerate() {
-            let mut acc = units.next().expect("first replicate");
-            for _ in 1..replicates {
-                acc.merge(&units.next().expect("replicate"));
+            for model_idx in 0..spec.model_count() {
+                let mut acc = units.next().expect("first replicate");
+                for _ in 1..replicates {
+                    acc.merge(&units.next().expect("replicate"));
+                }
+                let model = match spec.models.get(model_idx) {
+                    Some(m) => m.label(),
+                    None => point.scenario().channel_model().label(),
+                };
+                cells.push(CellReport {
+                    cell_index: spec.cell_index_model(scenario_idx, protocol_idx, model_idx),
+                    scenario: point.label().to_string(),
+                    protocol: proto.label().to_string(),
+                    model,
+                    knobs: point.knobs().clone(),
+                    stats: acc,
+                });
             }
-            cells.push(CellReport {
-                cell_index: spec.cell_index(scenario_idx, protocol_idx),
-                scenario: point.label().to_string(),
-                protocol: proto.label().to_string(),
-                knobs: point.knobs().clone(),
-                stats: acc,
-            });
         }
     }
     CampaignResult {
@@ -121,6 +165,7 @@ fn fold(spec: &CampaignSpec, unit_stats: Vec<CellStats>) -> CampaignResult {
             .iter()
             .map(|s| s.label().to_string())
             .collect(),
+        models: spec.models.iter().map(|m| m.label()).collect(),
         cells,
     }
 }

@@ -60,7 +60,7 @@
 //!   `Welford`/sketch/histogram accumulators).
 //! * [`exec`] — serial reference and sharded executors, plus the
 //!   determinism argument tying them together.
-//! * [`artifact`] — `CAMPAIGN_<name>.json` (schema `lowsense-campaign/1`)
+//! * [`artifact`] — `CAMPAIGN_<name>.json` (schema `lowsense-campaign/2`)
 //!   and the human table.
 
 #![forbid(unsafe_code)]

@@ -2,16 +2,22 @@
 //!
 //! A [`CampaignSpec`] is the full-factorial grid of a **scenario axis**
 //! (type-erased [`DynScenario`]s, optionally annotated with numeric knobs
-//! like `n` or the jam budget) and a **protocol axis** (named closures
-//! that run a seeded scenario on some engine), replicated `replicates`
-//! times with seeds derived per `(cell, replicate)` by
-//! [`crate::seed::cell_seed`]. Cells are indexed scenario-major:
-//! `cell = scenario_idx · protocols + protocol_idx`.
+//! like `n` or the jam budget), a **protocol axis** (named closures
+//! that run a seeded scenario on some engine), and an optional **channel
+//! model axis** ([`ChannelModel`]s applied to the seeded scenario before
+//! the protocol runs it), replicated `replicates` times with seeds derived
+//! per `(cell, replicate)` by [`crate::seed::cell_seed`]. Cells are
+//! indexed scenario-major with the model axis innermost:
+//! `cell = (scenario_idx · protocols + protocol_idx) · models + model_idx`
+//! — so a spec without an explicit model axis (`models` empty, every
+//! scenario keeping its intrinsic channel) has exactly the pre-axis cell
+//! indices and therefore the pre-axis run seeds.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use lowsense_sim::feedback::ChannelModel;
 use lowsense_sim::metrics::RunResult;
 use lowsense_sim::scenario::DynScenario;
 
@@ -174,6 +180,9 @@ pub struct CampaignSpec {
     pub(crate) replicates: u32,
     pub(crate) scenarios: Vec<ScenarioPoint>,
     pub(crate) protocols: Vec<ProtocolSpec>,
+    /// Explicit channel-model axis; empty means "no axis" — every
+    /// scenario runs under its own intrinsic [`ChannelModel`].
+    pub(crate) models: Vec<ChannelModel>,
     pub(crate) metrics: Vec<MetricSpec>,
 }
 
@@ -186,6 +195,7 @@ impl CampaignSpec {
             replicates: 1,
             scenarios: Vec::new(),
             protocols: Vec::new(),
+            models: Vec::new(),
             metrics: Vec::new(),
         }
     }
@@ -242,6 +252,24 @@ impl CampaignSpec {
         self
     }
 
+    /// Declares an explicit channel-model axis: every grid cell is crossed
+    /// with each listed [`ChannelModel`], which **overrides** the
+    /// scenario's intrinsic channel for that cell. Replaces any previously
+    /// set axis. Without this call, scenarios keep their own channel and
+    /// the grid has no model dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty — pass nothing at all for "no axis".
+    pub fn models(mut self, models: impl IntoIterator<Item = ChannelModel>) -> Self {
+        self.models = models.into_iter().collect();
+        assert!(
+            !self.models.is_empty(),
+            "an explicit model axis needs at least one model"
+        );
+        self
+    }
+
     /// Declares a custom per-run scalar metric.
     pub fn metric(
         mut self,
@@ -252,9 +280,15 @@ impl CampaignSpec {
         self
     }
 
-    /// Number of grid cells (scenario axis × protocol axis).
+    /// Width of the model dimension: the explicit axis length, or 1 when
+    /// no axis was declared (the implicit intrinsic-channel "column").
+    pub fn model_count(&self) -> usize {
+        self.models.len().max(1)
+    }
+
+    /// Number of grid cells (scenario axis × protocol axis × model axis).
     pub fn cell_count(&self) -> usize {
-        self.scenarios.len() * self.protocols.len()
+        self.scenarios.len() * self.protocols.len() * self.model_count()
     }
 
     /// Number of simulation runs the campaign will execute.
@@ -262,11 +296,24 @@ impl CampaignSpec {
         self.cell_count() * self.replicates as usize
     }
 
-    /// The scenario-major cell index of `(scenario_idx, protocol_idx)`.
+    /// The cell index of `(scenario_idx, protocol_idx)` under the first
+    /// model column — without an explicit model axis, *the* cell index.
     pub fn cell_index(&self, scenario_idx: usize, protocol_idx: usize) -> usize {
+        self.cell_index_model(scenario_idx, protocol_idx, 0)
+    }
+
+    /// The scenario-major, model-innermost cell index of
+    /// `(scenario_idx, protocol_idx, model_idx)`.
+    pub fn cell_index_model(
+        &self,
+        scenario_idx: usize,
+        protocol_idx: usize,
+        model_idx: usize,
+    ) -> usize {
         debug_assert!(scenario_idx < self.scenarios.len());
         debug_assert!(protocol_idx < self.protocols.len());
-        scenario_idx * self.protocols.len() + protocol_idx
+        debug_assert!(model_idx < self.model_count());
+        (scenario_idx * self.protocols.len() + protocol_idx) * self.model_count() + model_idx
     }
 }
 
@@ -295,6 +342,35 @@ mod tests {
     #[should_panic(expected = "at least one replicate")]
     fn zero_replicates_rejected() {
         let _ = CampaignSpec::new("bad").replicates(0);
+    }
+
+    #[test]
+    fn model_axis_multiplies_cells_and_stays_innermost() {
+        let spec = CampaignSpec::new("grid")
+            .scenario(scenarios::batch_drain(8).boxed())
+            .scenario(scenarios::batch_drain(16).boxed())
+            .protocol("noop", |sc, _| sc.run_sparse(|_| TestProto))
+            .models([ChannelModel::Ternary, ChannelModel::NoCollisionDetection]);
+        assert_eq!(spec.model_count(), 2);
+        assert_eq!(spec.cell_count(), 4);
+        // Model innermost: (s=1, p=0) spans cells 2..4.
+        assert_eq!(spec.cell_index(1, 0), 2);
+        assert_eq!(spec.cell_index_model(1, 0, 1), 3);
+    }
+
+    #[test]
+    fn no_axis_means_one_implicit_model_column() {
+        let spec = CampaignSpec::new("plain")
+            .scenario(scenarios::batch_drain(8).boxed())
+            .protocol("noop", |sc, _| sc.run_sparse(|_| TestProto));
+        assert_eq!(spec.model_count(), 1);
+        assert_eq!(spec.cell_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_explicit_model_axis_rejected() {
+        let _ = CampaignSpec::new("bad").models([]);
     }
 
     #[derive(Clone)]

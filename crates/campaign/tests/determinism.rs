@@ -108,7 +108,50 @@ fn reports_carry_grid_metadata() {
     assert_eq!(m.count(), 3);
     // The artifact renders and parses as non-empty text.
     assert!(r.render().contains("fast"));
-    assert!(r.to_json().contains("\"schema\": \"lowsense-campaign/1\""));
+    assert!(r.to_json().contains("\"schema\": \"lowsense-campaign/2\""));
+    // No explicit model axis: the implicit column reports each scenario's
+    // intrinsic channel, and the axis array stays empty.
+    assert!(r.models.is_empty());
+    assert_eq!(jammed_fast.model, "ternary");
+}
+
+#[test]
+fn model_axis_crosses_every_cell_and_stays_shard_invariant() {
+    use lowsense_sim::feedback::ChannelModel;
+    let spec = demo_spec(11).models([
+        ChannelModel::Ternary,
+        ChannelModel::NoCollisionDetection,
+        ChannelModel::CostlyCollisions { alpha: 0.5 },
+    ]);
+    assert_eq!(spec.cell_count(), 18);
+    let oracle = spec.run_serial();
+    assert_eq!(oracle.cells.len(), 18);
+    assert_eq!(oracle.models.len(), 3);
+    for shards in [1, 4] {
+        assert_eq!(spec.run_sharded(shards), oracle, "{shards} shards");
+    }
+    // Model innermost: the (scenario 1, protocol 0) block holds the three
+    // models at consecutive indices, labelled by the axis.
+    let base = oracle.cell_model(1, 0, 0);
+    assert_eq!(base.cell_index, 6);
+    assert_eq!(base.model, "ternary");
+    assert_eq!(oracle.cell_model(1, 0, 1).model, "no-cd");
+    assert_eq!(oracle.cell_model(1, 0, 2).model, "costly(alpha=0.5)");
+    let json = oracle.to_json();
+    assert!(json.contains("\"models\": [\"ternary\", \"no-cd\", \"costly(alpha=0.5)\"]"));
+    // Model cells are separate grid cells with their own derived seeds —
+    // never silently aliased onto one another.
+    assert_ne!(
+        oracle.cell_model(1, 0, 0).stats,
+        oracle.cell_model(1, 0, 1).stats,
+        "model cells must be distinct runs"
+    );
+    // And the costly channel visibly dilates the clock on a jammed batch
+    // (collisions are certain there), which neither other model does.
+    assert!(
+        oracle.cell_model(1, 0, 2).stats.overhead_slots > 0,
+        "costly collisions must accumulate overhead"
+    );
 }
 
 proptest! {

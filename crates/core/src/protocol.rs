@@ -179,6 +179,13 @@ impl Protocol for LowSensing {
         // Transcendental-free, divide-free window update: one rung up or
         // down the precomputed ladder, clamped at the `w_min` floor (rung
         // 0) and the saturation rung (top).
+        //
+        // `obs.feedback` is whatever the run's `FeedbackModel` reports —
+        // the algorithm assumes the paper's full-sensing ternary channel.
+        // Under no-collision-detection it still runs, but collisions
+        // arrive as `Empty` and the update walks the wrong way (contention
+        // reads as silence); that degradation is measured, not corrected,
+        // by the feedback-grid campaign.
         let new_level = match obs.feedback {
             Feedback::Empty => self.level.saturating_sub(1),
             Feedback::Noisy => (self.level + 1).min(self.ladder.top_level()),
@@ -459,5 +466,57 @@ mod tests {
             }
             assert_eq!(rng_s.next_u64(), rng_b.next_u64(), "stream lockstep");
         }
+    }
+
+    #[test]
+    fn no_cd_channel_misreads_collisions_as_silence() {
+        // On the no-collision-detection channel a collision is delivered to
+        // listeners as `Empty`, so the window update walks *down* — the
+        // exact inversion of the full-sensing response. This test pins that
+        // documented hazard at the unit level.
+        let mut p = fresh();
+        p.observe(&obs(Feedback::Noisy));
+        let w_backed_off = p.window();
+        // What a ternary listener would be told about a collision slot:
+        let mut ternary = p;
+        ternary.observe(&obs(Feedback::Noisy));
+        assert!(ternary.window() > w_backed_off);
+        // What a no-CD listener is told about the same collision slot:
+        let mut nocd = p;
+        nocd.observe(&obs(Feedback::Empty));
+        assert!(nocd.window() < w_backed_off);
+    }
+
+    #[test]
+    fn runs_bounded_and_accounted_on_the_no_cd_channel() {
+        // The algorithm must still *run* under the weaker channel — the
+        // engines cap the horizon and the accounting stays partitioned —
+        // even though draining is not guaranteed there.
+        use lowsense_sim::arrivals::Batch;
+        use lowsense_sim::config::{Limits, SimConfig};
+        use lowsense_sim::engine::run_sparse_model;
+        use lowsense_sim::feedback::NoCollisionDetection;
+        use lowsense_sim::hooks::NoHooks;
+        use lowsense_sim::jamming::NoJam;
+        let cfg = SimConfig::new(21).limits(Limits {
+            max_slot: 20_000,
+            max_steps: u64::MAX,
+        });
+        let r = run_sparse_model(
+            &cfg,
+            Batch::new(48),
+            NoJam,
+            NoCollisionDetection,
+            |_| fresh(),
+            &mut NoHooks,
+        );
+        let t = &r.totals;
+        assert!(t.last_slot <= 20_000);
+        assert!(t.successes <= t.arrivals);
+        assert_eq!(
+            t.active_slots,
+            t.empty_active + t.successes + t.collision_slots + t.jammed_active,
+            "slot classes must partition active slots"
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! campaign faceoff --full                   # the T2-scale grid
 //! campaign faceoff --seed 7 --out F.json    # artifact path (default
 //!                                           # CAMPAIGN_<name>.json)
+//! campaign feedback-grid                    # protocols × channel models
 //! ```
 //!
 //! The artifact bytes are a pure function of `(campaign, scale, seed)` —
@@ -16,7 +17,9 @@ use lowsense_experiments::campaigns;
 use lowsense_experiments::common::pow2_sweep;
 
 fn usage() -> ! {
-    eprintln!("usage: campaign <faceoff> [--shards N] [--seed S] [--out FILE] [--full]");
+    eprintln!(
+        "usage: campaign <faceoff|feedback-grid> [--shards N] [--seed S] [--out FILE] [--full]"
+    );
     std::process::exit(2);
 }
 
@@ -40,16 +43,18 @@ fn main() {
             "--seed" => seed = parse(it.next()),
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--full" => full = true,
-            "faceoff" if name.is_none() => name = Some(arg),
+            "faceoff" | "feedback-grid" if name.is_none() => name = Some(arg),
             _ => usage(),
         }
     }
-    let Some(_name) = name else { usage() };
+    let Some(name) = name else { usage() };
 
-    let spec = if full {
-        campaigns::faceoff_spec(&pow2_sweep(6, 15), 12, seed)
-    } else {
-        campaigns::faceoff_small_spec(seed)
+    let spec = match (name.as_str(), full) {
+        ("faceoff", true) => campaigns::faceoff_spec(&pow2_sweep(6, 15), 12, seed),
+        ("faceoff", false) => campaigns::faceoff_small_spec(seed),
+        ("feedback-grid", true) => campaigns::feedback_grid_spec(1 << 10, 8, seed),
+        ("feedback-grid", false) => campaigns::feedback_grid_small_spec(seed),
+        _ => usage(),
     };
     let shards = shards.unwrap_or_else(lowsense_campaign::pool::default_shards);
     eprintln!(

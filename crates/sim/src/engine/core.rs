@@ -15,10 +15,23 @@
 //! the previous slot, and a reactive jammer is consulted only after the
 //! adaptive decision declined and with the slot's sender set visible
 //! (paper §1.1, §1.3).
+//!
+//! # Logical vs physical time
+//!
+//! The core is generic over a [`FeedbackModel`]. Models may charge extra
+//! *physical* slots for an outcome (costly collisions); the core keeps all
+//! scheduling — wake slots, arrivals, jammer decisions, limits — in
+//! **logical** time and accumulates the model's overhead as a clock
+//! `skew`, applied only when recording into metrics. This keeps every
+//! stepping strategy's event order identical across models (the sparse
+//! oracle suite stays three-way bit-identical), while reported slot
+//! numbers, latencies, and `last_slot` reflect physical time. Under
+//! [`Ternary`] the skew is identically zero and the slot loop monomorphizes
+//! to the pre-model machine code.
 
 use crate::arrivals::ArrivalProcess;
 use crate::config::{ArrivalCursor, Limits, SimConfig};
-use crate::feedback::{resolve_slot, SlotOutcome};
+use crate::feedback::{resolve_slot, FeedbackModel, SlotOutcome, Ternary};
 use crate::jamming::Jammer;
 use crate::metrics::{Metrics, RunResult};
 use crate::packet::PacketId;
@@ -30,9 +43,10 @@ use crate::view::SystemView;
 ///
 /// Constructed by an engine's entry point from a [`SimConfig`], an arrival
 /// process, and a jammer; consumed by [`EngineCore::finish`] into the run's
-/// [`RunResult`].
+/// [`RunResult`]. The third parameter is the run's [`FeedbackModel`],
+/// defaulting to the paper's [`Ternary`] channel.
 #[derive(Debug)]
-pub struct EngineCore<A, J> {
+pub struct EngineCore<A, J, M = Ternary> {
     /// The run's deterministic RNG. Engines draw protocol coins from it so
     /// one seed fixes the entire execution.
     pub rng: SimRng,
@@ -44,11 +58,26 @@ pub struct EngineCore<A, J> {
     steps: u64,
     cursor: ArrivalCursor<A>,
     jammer: J,
+    model: M,
+    /// Physical-minus-logical clock skew accumulated from model overhead.
+    skew: u64,
 }
 
 impl<A: ArrivalProcess, J: Jammer> EngineCore<A, J> {
-    /// Creates the substrate for one run.
+    /// Creates the substrate for one run under the default [`Ternary`]
+    /// channel.
+    ///
+    /// (Defined on the `Ternary`-concrete impl so plain `EngineCore::new`
+    /// call sites keep inferring the default model — default type
+    /// parameters do not participate in expression inference.)
     pub fn new(cfg: &SimConfig, arrivals: A, jammer: J) -> Self {
+        Self::with_model(cfg, arrivals, jammer, Ternary)
+    }
+}
+
+impl<A: ArrivalProcess, J: Jammer, M: FeedbackModel> EngineCore<A, J, M> {
+    /// Creates the substrate for one run under an explicit feedback model.
+    pub fn with_model(cfg: &SimConfig, arrivals: A, jammer: J, model: M) -> Self {
         EngineCore {
             rng: SimRng::new(cfg.seed),
             metrics: Metrics::new(cfg.metrics),
@@ -57,7 +86,22 @@ impl<A: ArrivalProcess, J: Jammer> EngineCore<A, J> {
             steps: 0,
             cursor: ArrivalCursor::new(arrivals),
             jammer,
+            model,
+            skew: 0,
         }
+    }
+
+    /// The run's feedback model (models are tiny `Copy` types).
+    #[inline]
+    pub fn model(&self) -> M {
+        self.model
+    }
+
+    /// Physical-minus-logical clock skew so far (identically 0 under
+    /// [`Ternary`]).
+    #[inline]
+    pub fn skew(&self) -> u64 {
+        self.skew
     }
 
     /// The run's safety limits.
@@ -103,10 +147,20 @@ impl<A: ArrivalProcess, J: Jammer> EngineCore<A, J> {
         self.cursor.consume();
     }
 
-    /// Registers an injected packet and returns its id.
+    /// Registers an injected packet and returns its id. The injection is
+    /// recorded at physical time so latencies stay internally consistent
+    /// under time-dilating models.
     #[inline]
     pub fn note_inject(&mut self, t: Slot) -> PacketId {
-        self.metrics.note_inject(t)
+        self.metrics.note_inject(t + self.skew)
+    }
+
+    /// Marks `id` as departed in logical slot `t`, recorded at physical
+    /// time. Engines must route departures through here (not directly via
+    /// `metrics`) so skew is applied uniformly.
+    #[inline]
+    pub fn note_depart(&mut self, id: PacketId, t: Slot) {
+        self.metrics.note_depart(id, t + self.skew);
     }
 
     /// Full jamming decision for slot `t`: the adaptive decision first,
@@ -145,10 +199,19 @@ impl<A: ArrivalProcess, J: Jammer> EngineCore<A, J> {
     }
 
     /// Resolves slot `t` from the jam decision and sender set, and accounts
-    /// it. The caller forwards the outcome to its hooks.
+    /// it (at physical time). The caller forwards the outcome to its hooks.
+    ///
+    /// If the feedback model charges overhead for the outcome, the skew
+    /// grows *after* the slot is recorded: the slot itself sits at the
+    /// current physical time and everything later shifts.
     pub fn resolve(&mut self, t: Slot, jam: bool, senders: &[PacketId]) -> SlotOutcome {
         let outcome = resolve_slot(jam, senders);
-        self.metrics.note_slot(t, &outcome);
+        self.metrics.note_slot(t + self.skew, &outcome);
+        let extra = self.model.overhead_slots(&outcome);
+        if extra > 0 {
+            self.skew += extra;
+            self.metrics.note_overhead(extra);
+        }
         outcome
     }
 
@@ -177,19 +240,22 @@ impl<A: ArrivalProcess, J: Jammer> EngineCore<A, J> {
                 };
                 self.jammer.count_range(from, to, &view, &mut self.rng)
             };
-            self.metrics.note_gap(from, to, true, jammed);
+            self.metrics
+                .note_gap(from + self.skew, to + self.skew, true, jammed);
             Some(jammed)
         } else {
-            self.metrics.note_gap(from, to, false, 0);
+            self.metrics
+                .note_gap(from + self.skew, to + self.skew, false, 0);
             None
         }
     }
 
     /// Takes a trajectory sample if the active-slot count crossed a
-    /// checkpoint.
+    /// checkpoint (sampled at physical time).
     #[inline]
     pub fn checkpoint(&mut self, slot: Slot, backlog: u64, contention: f64) {
-        self.metrics.maybe_checkpoint(slot, backlog, contention);
+        self.metrics
+            .maybe_checkpoint(slot + self.skew, backlog, contention);
     }
 
     /// Finalizes the run.
@@ -266,6 +332,43 @@ mod tests {
         // Inactive gap: ignored entirely.
         assert_eq!(core.account_gap(20, 40, 0, 0.0), None);
         assert_eq!(core.metrics.totals.active_slots, 20);
+    }
+
+    #[test]
+    fn costly_model_skews_physical_time_only() {
+        use crate::feedback::CostlyCollisions;
+        let cfg = SimConfig::new(6);
+        let mut core =
+            EngineCore::with_model(&cfg, Batch::new(3), NoJam, CostlyCollisions::new(0.5));
+        let a = core.note_inject(0);
+        let b = core.note_inject(0);
+        // Logical slot 0: a 2-way collision → 1 extra physical slot.
+        let o = core.resolve(0, false, &[a, b]);
+        assert_eq!(o, SlotOutcome::Collision { senders: 2 });
+        assert_eq!(core.metrics.totals.last_slot, 0, "slot recorded pre-skew");
+        assert_eq!(core.skew(), 1);
+        assert_eq!(core.metrics.totals.overhead_slots, 1);
+        // Logical slot 1 lands at physical slot 2.
+        core.resolve(1, false, &[a]);
+        assert_eq!(core.metrics.totals.last_slot, 2);
+        core.note_depart(a, 1);
+        // The logical partition is unaffected by the dilation.
+        let t = core.metrics.totals;
+        assert_eq!(t.active_slots, 2);
+        assert_eq!(
+            t.active_slots,
+            t.empty_active + t.successes + t.collision_slots + t.jammed_active
+        );
+    }
+
+    #[test]
+    fn ternary_core_has_zero_skew() {
+        let cfg = SimConfig::new(7);
+        let mut core = EngineCore::new(&cfg, Batch::new(2), NoJam);
+        core.resolve(0, false, &[PacketId(0), PacketId(1)]);
+        core.resolve(1, true, &[PacketId(0), PacketId(1)]);
+        assert_eq!(core.skew(), 0);
+        assert_eq!(core.metrics.totals.overhead_slots, 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::engine::core::EngineCore;
-use crate::feedback::{Intent, Observation, SlotOutcome};
+use crate::feedback::{FeedbackModel, Intent, Observation, SlotOutcome, Ternary};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
 use crate::metrics::RunResult;
@@ -58,7 +58,7 @@ pub fn run_dense<P, F, A, J, H>(
     cfg: &SimConfig,
     arrivals: A,
     jammer: J,
-    mut factory: F,
+    factory: F,
     hooks: &mut H,
 ) -> RunResult
 where
@@ -68,7 +68,30 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    let mut core = EngineCore::new(cfg, arrivals, jammer);
+    run_dense_model(cfg, arrivals, jammer, Ternary, factory, hooks)
+}
+
+/// Runs a dense simulation under an explicit [`FeedbackModel`].
+///
+/// [`run_dense`] is this with the [`Ternary`] model; both monomorphize, so
+/// the ternary slot loop is unchanged machine code.
+pub fn run_dense_model<P, F, A, J, M, H>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    model: M,
+    mut factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: Protocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+    H: Hooks<P>,
+{
+    let mut core = EngineCore::with_model(cfg, arrivals, jammer, model);
 
     // Packet table indexed by id; `active` lists live ids with `pos` as the
     // reverse index so departures are O(1).
@@ -134,17 +157,12 @@ where
         let jam = core.jam_decision(t, active.len() as u64, contention, &senders);
         let outcome = core.resolve(t, jam, &senders);
         hooks.on_slot(t, &outcome);
-        let fb = outcome.feedback();
+        let fb = model.listener_feedback(&outcome);
 
         // Pure listeners.
         for &id in &listeners {
             core.metrics.note_listen(id);
-            let slot_obs = Observation {
-                slot: t,
-                feedback: fb,
-                sent: false,
-                succeeded: false,
-            };
+            let slot_obs = Observation::listener(t, fb);
             let p = packets[id.index()].as_mut().expect("listener state");
             let before = p.clone();
             p.observe(&slot_obs);
@@ -160,12 +178,8 @@ where
         for &id in &senders {
             core.metrics.note_send(id);
             let succeeded = winner == Some(id);
-            let slot_obs = Observation {
-                slot: t,
-                feedback: fb,
-                sent: true,
-                succeeded,
-            };
+            let slot_obs =
+                Observation::sender(t, model.sender_feedback(&outcome, succeeded), succeeded);
             let p = packets[id.index()].as_mut().expect("sender state");
             let before = p.clone();
             p.observe(&slot_obs);
@@ -176,7 +190,7 @@ where
             let p = packets[id.index()].take().expect("winner state");
             contention -= p.send_probability();
             hooks.on_depart(t, id, &p);
-            core.metrics.note_depart(id, t);
+            core.note_depart(id, t);
             // O(1) removal from `active` via the position index.
             let i = pos[id.index()] as usize;
             let last = *active.last().expect("non-empty active list");
@@ -389,6 +403,31 @@ mod tests {
         assert_eq!(hooks.slots, r.totals.active_slots);
         // Every send produced exactly one observation (Fixed never listens).
         assert_eq!(hooks.observes, r.totals.sends);
+    }
+
+    #[test]
+    fn costly_collisions_dilate_the_clock_but_not_the_logic() {
+        use crate::feedback::CostlyCollisions;
+        let cfg = SimConfig::new(1).limits(Limits::until_slot(99));
+        let r = run_dense(&cfg, Batch::new(2), NoJam, |_| Greedy, &mut NoHooks);
+        let rc = run_dense_model(
+            &cfg,
+            Batch::new(2),
+            NoJam,
+            CostlyCollisions::new(0.5),
+            |_| Greedy,
+            &mut NoHooks,
+        );
+        // Same logical trajectory: 100 two-way collisions either way.
+        assert_eq!(r.totals.collision_slots, 100);
+        assert_eq!(rc.totals.collision_slots, 100);
+        assert_eq!(rc.totals.sends, r.totals.sends);
+        // Each 2-way collision charges ceil(0.5·2) = 1 extra physical slot.
+        assert_eq!(rc.totals.overhead_slots, 100);
+        // The final slot is recorded at physical time: logical 99 shifted by
+        // the 99 collisions resolved before it.
+        assert_eq!(r.totals.last_slot, 99);
+        assert_eq!(rc.totals.last_slot, 99 + 99);
     }
 
     #[test]

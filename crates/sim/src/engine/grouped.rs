@@ -17,7 +17,7 @@ use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::dist::Binomial;
 use crate::engine::core::EngineCore;
-use crate::feedback::{Feedback, SlotOutcome};
+use crate::feedback::{Feedback, FeedbackModel, SlotOutcome, Ternary};
 use crate::jamming::Jammer;
 use crate::metrics::RunResult;
 use crate::packet::PacketId;
@@ -50,14 +50,39 @@ struct Group<P> {
 ///
 /// `factory` is invoked once per arrival event; every packet of the event
 /// shares the returned state (symmetry requires identical initial state).
-pub fn run_grouped<P, F, A, J>(cfg: &SimConfig, arrivals: A, jammer: J, mut factory: F) -> RunResult
+pub fn run_grouped<P, F, A, J>(cfg: &SimConfig, arrivals: A, jammer: J, factory: F) -> RunResult
 where
     P: SymmetricProtocol,
     F: FnMut(&mut SimRng) -> P,
     A: ArrivalProcess,
     J: Jammer,
 {
-    let mut core = EngineCore::new(cfg, arrivals, jammer);
+    run_grouped_model(cfg, arrivals, jammer, Ternary, factory)
+}
+
+/// [`run_grouped`] under an explicit [`FeedbackModel`].
+///
+/// The cohort update applies the model's **listener** feedback — exact for
+/// models where senders and listeners perceive the channel identically
+/// (ternary, costly collisions). Under `NoCollisionDetection` the grouped
+/// abstraction is lossy (a failed sender privately hears noise while its
+/// cohort hears silence), so the feedback-grid campaign runs symmetric
+/// baselines through the per-packet engines instead.
+pub fn run_grouped_model<P, F, A, J, M>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    model: M,
+    mut factory: F,
+) -> RunResult
+where
+    P: SymmetricProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+{
+    let mut core = EngineCore::with_model(cfg, arrivals, jammer, model);
     let mut groups: Vec<Group<P>> = Vec::new();
     let mut senders: Vec<PacketId> = Vec::new();
     let mut t: Slot = 0;
@@ -147,13 +172,13 @@ where
                 .position(|&m| m == id)
                 .expect("winner in its group");
             g.members.swap_remove(pos);
-            core.metrics.note_depart(id, t);
+            core.note_depart(id, t);
             // Lifetime slots minus sends = pure listens (reconstructed).
             core.metrics.reconcile_listens(id, t - g.injected + 1);
         }
 
-        // Common feedback update for every cohort.
-        let fb = outcome.feedback();
+        // Common feedback update for every cohort (the listener's view).
+        let fb = model.listener_feedback(&outcome);
         for g in &mut groups {
             g.state.on_feedback(fb);
         }

@@ -24,9 +24,17 @@
 //! * [`grouped`] — cohort engine for [`SymmetricProtocol`] baselines that
 //!   listen every slot, `O(groups)` per slot.
 //!
+//! Every engine is additionally generic over a
+//! [`FeedbackModel`](crate::feedback::FeedbackModel): the plain `run_*`
+//! entry points fix the paper's ternary channel, and each has a
+//! `run_*_model` sibling taking an explicit model. Models are
+//! monomorphization parameters — dispatch happens once per run, never in
+//! the slot loop.
+//!
 //! Most code should not call the `run_*` entry points directly but go
 //! through the [scenario layer](crate::scenario), which composes arrivals,
-//! jamming, limits, and metrics into named, reusable run descriptions.
+//! jamming, limits, metrics, and the channel model into named, reusable
+//! run descriptions.
 //!
 //! [`SparseProtocol`]: crate::protocol::SparseProtocol
 //! [`SymmetricProtocol`]: grouped::SymmetricProtocol
@@ -41,10 +49,10 @@ pub mod wake;
 pub mod wake_flat;
 
 pub use self::core::EngineCore;
-pub use dense::run_dense;
-pub use grouped::{run_grouped, SymmetricProtocol};
-pub use sparse::{run_sparse, run_sparse_flat};
-pub use sparse_reference::run_sparse_reference;
+pub use dense::{run_dense, run_dense_model};
+pub use grouped::{run_grouped, run_grouped_model, SymmetricProtocol};
+pub use sparse::{run_sparse, run_sparse_flat, run_sparse_flat_model, run_sparse_model};
+pub use sparse_reference::{run_sparse_reference, run_sparse_reference_model};
 pub use table::{Dense, PacketTable};
 pub use wake::WakeQueue;
 pub use wake_flat::FlatWakeQueue;

@@ -53,7 +53,7 @@ use crate::engine::core::EngineCore;
 use crate::engine::table::{Dense, PacketTable};
 use crate::engine::wake::{cap_scratch, WakeQueue, WakeSet, SCRATCH_CAP};
 use crate::engine::wake_flat::FlatWakeQueue;
-use crate::feedback::{Observation, SlotOutcome};
+use crate::feedback::{FeedbackModel, Observation, SlotOutcome, Ternary};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
 use crate::metrics::RunResult;
@@ -113,7 +113,33 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    run_sparse_with::<P, F, A, J, H, WakeQueue>(cfg, arrivals, jammer, factory, hooks)
+    run_sparse_with::<P, F, A, J, Ternary, H, WakeQueue>(
+        cfg, arrivals, jammer, Ternary, factory, hooks,
+    )
+}
+
+/// [`run_sparse`] under an explicit [`FeedbackModel`].
+///
+/// The model is a monomorphization parameter: dispatch happens once per
+/// run, never inside the slot loop, and the [`Ternary`] instantiation is
+/// the exact pre-model machine code.
+pub fn run_sparse_model<P, F, A, J, M, H>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    model: M,
+    factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+    H: Hooks<P>,
+{
+    run_sparse_with::<P, F, A, J, M, H, WakeQueue>(cfg, arrivals, jammer, model, factory, hooks)
 }
 
 /// [`run_sparse`], but scheduling on the retained flat calendar ring
@@ -139,17 +165,41 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    run_sparse_with::<P, F, A, J, H, FlatWakeQueue>(cfg, arrivals, jammer, factory, hooks)
+    run_sparse_with::<P, F, A, J, Ternary, H, FlatWakeQueue>(
+        cfg, arrivals, jammer, Ternary, factory, hooks,
+    )
+}
+
+/// [`run_sparse_flat`] under an explicit [`FeedbackModel`], for the
+/// three-way equivalence suite's non-ternary runs.
+pub fn run_sparse_flat_model<P, F, A, J, M, H>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    model: M,
+    factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+    H: Hooks<P>,
+{
+    run_sparse_with::<P, F, A, J, M, H, FlatWakeQueue>(cfg, arrivals, jammer, model, factory, hooks)
 }
 
 /// The sparse loop body, generic over the wake set. Every ordering-visible
 /// statement is shared by both instantiations, so agreement between
 /// [`run_sparse`] and [`run_sparse_flat`] pins exactly the queues' drain
 /// orders against each other.
-fn run_sparse_with<P, F, A, J, H, Q>(
+fn run_sparse_with<P, F, A, J, M, H, Q>(
     cfg: &SimConfig,
     arrivals: A,
     jammer: J,
+    model: M,
     mut factory: F,
     hooks: &mut H,
 ) -> RunResult
@@ -158,10 +208,11 @@ where
     F: FnMut(&mut SimRng) -> P,
     A: ArrivalProcess,
     J: Jammer,
+    M: FeedbackModel,
     H: Hooks<P>,
     Q: WakeSet,
 {
-    let mut core = EngineCore::new(cfg, arrivals, jammer);
+    let mut core = EngineCore::with_model(cfg, arrivals, jammer, model);
 
     // Epoch-compacted packet table: live states stay dense in memory as
     // the run drains, and the id → dense-index remap keeps original ids
@@ -185,8 +236,8 @@ where
     let mut now: Slot = 0;
 
     // Accounts a silent gap `[from, to)`, forwarding active gaps to hooks.
-    fn gap<A: ArrivalProcess, J: Jammer, P, H: Hooks<P>>(
-        core: &mut EngineCore<A, J>,
+    fn gap<A: ArrivalProcess, J: Jammer, M: FeedbackModel, P, H: Hooks<P>>(
+        core: &mut EngineCore<A, J, M>,
         hooks: &mut H,
         from: Slot,
         to: Slot,
@@ -303,7 +354,7 @@ where
         let jam = core.jam_decision(te, active_count, contention, &senders);
         let outcome = core.resolve(te, jam, &senders);
         hooks.on_slot(te, &outcome);
-        let fb = outcome.feedback();
+        let fb = model.listener_feedback(&outcome);
 
         // The listener loop is split into an observation pass and a wake
         // pass. Observations draw no randomness, so the split leaves the
@@ -317,12 +368,7 @@ where
         // processing order), so the cohorts are consecutive quadruples of
         // `listeners`, with the tail (< 4 packets) going through the
         // scalar methods the defaults fall back to anyway.
-        let obs = Observation {
-            slot: te,
-            feedback: fb,
-            sent: false,
-            succeeded: false,
-        };
+        let obs = Observation::listener(te, fb);
         let mut quads = listeners.chunks_exact(4);
         let mut quads_at = listeners_at.chunks_exact(4);
         for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
@@ -397,12 +443,8 @@ where
         for (&id, &d) in senders.iter().zip(&senders_at) {
             core.metrics.note_send(id);
             let succeeded = winner == Some(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: true,
-                succeeded,
-            };
+            let obs =
+                Observation::sender(te, model.sender_feedback(&outcome, succeeded), succeeded);
             let p = packets.state_at_mut(d);
             if hooks.wants_observe() {
                 let before = p.clone();
@@ -427,7 +469,7 @@ where
             contention -= p.send_probability();
             hooks.on_depart(te, id, p);
             packets.retire(id);
-            core.metrics.note_depart(id, te);
+            core.note_depart(id, te);
             active_count -= 1;
             // End of the epoch? Compacting between slots moves memory
             // only: processing order is owned by the queue and ids stay

@@ -26,7 +26,7 @@ use std::collections::BinaryHeap;
 use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::engine::core::EngineCore;
-use crate::feedback::{Observation, SlotOutcome};
+use crate::feedback::{FeedbackModel, Observation, SlotOutcome, Ternary};
 use crate::hooks::Hooks;
 use crate::jamming::Jammer;
 use crate::metrics::RunResult;
@@ -45,7 +45,7 @@ pub fn run_sparse_reference<P, F, A, J, H>(
     cfg: &SimConfig,
     arrivals: A,
     jammer: J,
-    mut factory: F,
+    factory: F,
     hooks: &mut H,
 ) -> RunResult
 where
@@ -55,7 +55,28 @@ where
     J: Jammer,
     H: Hooks<P>,
 {
-    let mut core = EngineCore::new(cfg, arrivals, jammer);
+    run_sparse_reference_model(cfg, arrivals, jammer, Ternary, factory, hooks)
+}
+
+/// [`run_sparse_reference`] under an explicit [`FeedbackModel`], so the
+/// dumb oracle loop can pin the optimized engine under every model.
+pub fn run_sparse_reference_model<P, F, A, J, M, H>(
+    cfg: &SimConfig,
+    arrivals: A,
+    jammer: J,
+    model: M,
+    mut factory: F,
+    hooks: &mut H,
+) -> RunResult
+where
+    P: SparseProtocol,
+    F: FnMut(&mut SimRng) -> P,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+    H: Hooks<P>,
+{
+    let mut core = EngineCore::with_model(cfg, arrivals, jammer, model);
 
     let mut packets: Vec<Option<P>> = Vec::new();
     // Each live packet has exactly one scheduled access event in the heap,
@@ -79,8 +100,8 @@ where
     let mut now: Slot = 0;
 
     // Accounts a silent gap `[from, to)`, forwarding active gaps to hooks.
-    fn gap<A: ArrivalProcess, J: Jammer, P, H: Hooks<P>>(
-        core: &mut EngineCore<A, J>,
+    fn gap<A: ArrivalProcess, J: Jammer, M: FeedbackModel, P, H: Hooks<P>>(
+        core: &mut EngineCore<A, J, M>,
         hooks: &mut H,
         from: Slot,
         to: Slot,
@@ -192,16 +213,11 @@ where
         let jam = core.jam_decision(te, active_count, contention, &senders);
         let outcome = core.resolve(te, jam, &senders);
         hooks.on_slot(te, &outcome);
-        let fb = outcome.feedback();
+        let fb = model.listener_feedback(&outcome);
 
         for &id in &listeners {
             core.metrics.note_listen(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: false,
-                succeeded: false,
-            };
+            let obs = Observation::listener(te, fb);
             let p = packets[id.index()].as_mut().expect("listener state");
             let before = p.clone();
             p.observe(&obs);
@@ -220,12 +236,8 @@ where
         for &id in &senders {
             core.metrics.note_send(id);
             let succeeded = winner == Some(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: true,
-                succeeded,
-            };
+            let obs =
+                Observation::sender(te, model.sender_feedback(&outcome, succeeded), succeeded);
             let p = packets[id.index()].as_mut().expect("sender state");
             let before = p.clone();
             p.observe(&obs);
@@ -242,7 +254,7 @@ where
             let p = packets[id.index()].take().expect("winner state");
             contention -= p.send_probability();
             hooks.on_depart(te, id, &p);
-            core.metrics.note_depart(id, te);
+            core.note_depart(id, te);
             active_count -= 1;
         }
 

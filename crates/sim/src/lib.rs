@@ -11,7 +11,11 @@
 //! either sleeps, listens, or sends. A slot with exactly one sender is a
 //! *success* and the sender departs; with two or more senders, a
 //! *collision*; jammed slots are noisy for everyone. Listeners learn only
-//! the ternary outcome (empty / success / noisy).
+//! the ternary outcome (empty / success / noisy) under the default model;
+//! [`feedback`] also provides the related papers' channel models
+//! (no collision detection, costly collisions) as first-class
+//! [`FeedbackModel`](feedback::FeedbackModel)s every engine is generic
+//! over.
 //!
 //! ## Quick start
 //!
@@ -90,10 +94,14 @@ pub mod prelude {
     };
     pub use crate::config::{Limits, SimConfig};
     pub use crate::engine::{
-        run_dense, run_grouped, run_sparse, run_sparse_flat, run_sparse_reference,
+        run_dense, run_dense_model, run_grouped, run_grouped_model, run_sparse, run_sparse_flat,
+        run_sparse_flat_model, run_sparse_model, run_sparse_reference, run_sparse_reference_model,
         SymmetricProtocol,
     };
-    pub use crate::feedback::{resolve_slot, Feedback, Intent, Observation, SlotOutcome};
+    pub use crate::feedback::{
+        resolve_slot, ChannelModel, CostlyCollisions, Feedback, FeedbackModel, Intent,
+        NoCollisionDetection, Observation, SlotOutcome, Ternary,
+    };
     pub use crate::hooks::{Both, Hooks, NoHooks};
     pub use crate::jamming::{
         BacklogJam, BudgetedRandomJam, Jammer, NoJam, PeriodicBurst, RandomJam, ReactiveAny,

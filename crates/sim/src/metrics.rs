@@ -39,6 +39,11 @@ pub struct Totals {
     pub max_backlog: u64,
     /// Last slot index the engine processed.
     pub last_slot: Slot,
+    /// Extra *physical* slots charged by the feedback model (e.g. costly
+    /// collisions dilating the clock). Deliberately outside the logical
+    /// partition: `active_slots == empty_active + successes +
+    /// collision_slots + jammed_active` holds regardless of overhead.
+    pub overhead_slots: u64,
 }
 
 impl Totals {
@@ -198,6 +203,13 @@ impl Metrics {
             SlotOutcome::Collision { .. } => self.totals.collision_slots += 1,
             SlotOutcome::Jammed { .. } => self.totals.jammed_active += 1,
         }
+    }
+
+    /// Accounts extra physical slots charged by the feedback model for the
+    /// slot just resolved (no-op for `extra == 0`, the ternary steady state).
+    #[inline]
+    pub fn note_overhead(&mut self, extra: u64) {
+        self.totals.overhead_slots += extra;
     }
 
     /// Accounts a gap `[from, to)` of slots in which no packet accessed the
@@ -397,6 +409,21 @@ mod tests {
         assert_eq!(m.totals.collision_slots, 1);
         assert_eq!(m.totals.jammed_active, 1);
         assert_eq!(m.totals.last_slot, 2);
+    }
+
+    #[test]
+    fn overhead_stays_outside_the_active_partition() {
+        let mut m = Metrics::new(MetricsConfig::totals_only());
+        m.note_slot(0, &SlotOutcome::Collision { senders: 4 });
+        m.note_overhead(2);
+        m.note_overhead(0);
+        let t = m.totals;
+        assert_eq!(t.overhead_slots, 2);
+        assert_eq!(
+            t.active_slots,
+            t.empty_active + t.successes + t.collision_slots + t.jammed_active,
+            "overhead must not leak into the logical slot partition"
+        );
     }
 
     #[test]

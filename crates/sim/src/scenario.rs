@@ -48,8 +48,11 @@ use std::fmt;
 use crate::arrivals::ArrivalProcess;
 use crate::config::{Limits, SimConfig};
 use crate::engine::{
-    run_dense, run_grouped, run_sparse, run_sparse_flat, run_sparse_reference, SymmetricProtocol,
+    run_dense, run_dense_model, run_grouped, run_grouped_model, run_sparse, run_sparse_flat,
+    run_sparse_flat_model, run_sparse_model, run_sparse_reference, run_sparse_reference_model,
+    SymmetricProtocol,
 };
+use crate::feedback::{ChannelModel, CostlyCollisions, NoCollisionDetection};
 use crate::hooks::{Hooks, NoHooks};
 use crate::jamming::{Jammer, NoJam};
 use crate::metrics::{MetricsConfig, RunResult};
@@ -76,6 +79,7 @@ pub struct Scenario<A = NoArrivals, J = NoJam> {
     jammer: J,
     limits: Limits,
     metrics: MetricsConfig,
+    model: ChannelModel,
 }
 
 impl Scenario<NoArrivals, NoJam> {
@@ -90,6 +94,7 @@ impl Scenario<NoArrivals, NoJam> {
             jammer: NoJam,
             limits: Limits::default(),
             metrics: MetricsConfig::default(),
+            model: ChannelModel::Ternary,
         }
     }
 }
@@ -109,6 +114,7 @@ impl<A, J> Scenario<A, J> {
             jammer: self.jammer,
             limits: self.limits,
             metrics: self.metrics,
+            model: self.model,
         }
     }
 
@@ -121,7 +127,20 @@ impl<A, J> Scenario<A, J> {
             jammer,
             limits: self.limits,
             metrics: self.metrics,
+            model: self.model,
         }
+    }
+
+    /// Selects the channel model the run resolves slots through
+    /// (default: the paper's ternary channel).
+    pub fn model(mut self, model: ChannelModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The scenario's channel model.
+    pub fn channel_model(&self) -> ChannelModel {
+        self.model
     }
 
     /// Sets the RNG seed.
@@ -190,19 +209,30 @@ where
     }
 
     /// [`Scenario::run_dense`] with analysis hooks attached.
+    ///
+    /// The channel model is dispatched **once here** (as in every run
+    /// method), outside the slot loop, to the matching monomorphized
+    /// engine body.
     pub fn run_dense_hooked<P, F, H>(&self, factory: F, hooks: &mut H) -> RunResult
     where
         P: Protocol,
         F: FnMut(&mut SimRng) -> P,
         H: Hooks<P>,
     {
-        run_dense(
-            &self.sim_config(),
+        let (cfg, a, j) = (
+            self.sim_config(),
             self.arrivals.clone(),
             self.jammer.clone(),
-            factory,
-            hooks,
-        )
+        );
+        match self.model {
+            ChannelModel::Ternary => run_dense(&cfg, a, j, factory, hooks),
+            ChannelModel::NoCollisionDetection => {
+                run_dense_model(&cfg, a, j, NoCollisionDetection, factory, hooks)
+            }
+            ChannelModel::CostlyCollisions { alpha } => {
+                run_dense_model(&cfg, a, j, CostlyCollisions::new(alpha), factory, hooks)
+            }
+        }
     }
 
     /// Runs the scenario on the [sparse engine](crate::engine::sparse).
@@ -221,13 +251,20 @@ where
         F: FnMut(&mut SimRng) -> P,
         H: Hooks<P>,
     {
-        run_sparse(
-            &self.sim_config(),
+        let (cfg, a, j) = (
+            self.sim_config(),
             self.arrivals.clone(),
             self.jammer.clone(),
-            factory,
-            hooks,
-        )
+        );
+        match self.model {
+            ChannelModel::Ternary => run_sparse(&cfg, a, j, factory, hooks),
+            ChannelModel::NoCollisionDetection => {
+                run_sparse_model(&cfg, a, j, NoCollisionDetection, factory, hooks)
+            }
+            ChannelModel::CostlyCollisions { alpha } => {
+                run_sparse_model(&cfg, a, j, CostlyCollisions::new(alpha), factory, hooks)
+            }
+        }
     }
 
     /// Runs the scenario on the sparse loop over the retained flat
@@ -239,13 +276,25 @@ where
         P: SparseProtocol,
         F: FnMut(&mut SimRng) -> P,
     {
-        run_sparse_flat(
-            &self.sim_config(),
+        let (cfg, a, j) = (
+            self.sim_config(),
             self.arrivals.clone(),
             self.jammer.clone(),
-            factory,
-            &mut NoHooks,
-        )
+        );
+        match self.model {
+            ChannelModel::Ternary => run_sparse_flat(&cfg, a, j, factory, &mut NoHooks),
+            ChannelModel::NoCollisionDetection => {
+                run_sparse_flat_model(&cfg, a, j, NoCollisionDetection, factory, &mut NoHooks)
+            }
+            ChannelModel::CostlyCollisions { alpha } => run_sparse_flat_model(
+                &cfg,
+                a,
+                j,
+                CostlyCollisions::new(alpha),
+                factory,
+                &mut NoHooks,
+            ),
+        }
     }
 
     /// Runs the scenario on the retained heap-based sparse loop
@@ -256,13 +305,25 @@ where
         P: SparseProtocol,
         F: FnMut(&mut SimRng) -> P,
     {
-        run_sparse_reference(
-            &self.sim_config(),
+        let (cfg, a, j) = (
+            self.sim_config(),
             self.arrivals.clone(),
             self.jammer.clone(),
-            factory,
-            &mut NoHooks,
-        )
+        );
+        match self.model {
+            ChannelModel::Ternary => run_sparse_reference(&cfg, a, j, factory, &mut NoHooks),
+            ChannelModel::NoCollisionDetection => {
+                run_sparse_reference_model(&cfg, a, j, NoCollisionDetection, factory, &mut NoHooks)
+            }
+            ChannelModel::CostlyCollisions { alpha } => run_sparse_reference_model(
+                &cfg,
+                a,
+                j,
+                CostlyCollisions::new(alpha),
+                factory,
+                &mut NoHooks,
+            ),
+        }
     }
 
     /// Runs the scenario on the [grouped engine](crate::engine::grouped).
@@ -271,12 +332,20 @@ where
         P: SymmetricProtocol,
         F: FnMut(&mut SimRng) -> P,
     {
-        run_grouped(
-            &self.sim_config(),
+        let (cfg, a, j) = (
+            self.sim_config(),
             self.arrivals.clone(),
             self.jammer.clone(),
-            factory,
-        )
+        );
+        match self.model {
+            ChannelModel::Ternary => run_grouped(&cfg, a, j, factory),
+            ChannelModel::NoCollisionDetection => {
+                run_grouped_model(&cfg, a, j, NoCollisionDetection, factory)
+            }
+            ChannelModel::CostlyCollisions { alpha } => {
+                run_grouped_model(&cfg, a, j, CostlyCollisions::new(alpha), factory)
+            }
+        }
     }
 }
 
@@ -298,6 +367,7 @@ where
             jammer: BoxedJammer(Box::new(self.jammer)),
             limits: self.limits,
             metrics: self.metrics,
+            model: self.model,
         }
     }
 }
@@ -413,7 +483,7 @@ impl Jammer for BoxedJammer {
 /// bounded, type-erased instance of each for uniform sweeps (smoke tests,
 /// cross-engine equivalence, perf baselines).
 pub mod scenarios {
-    use super::{DynScenario, Scenario};
+    use super::{ChannelModel, DynScenario, Scenario};
     use crate::arrivals::{
         AdversarialQueuing, BacklogTriggered, Batch, Bernoulli, Placement, PoissonArrivals,
     };
@@ -524,6 +594,24 @@ pub mod scenarios {
         Scenario::named(format!("protocol-faceoff(n={n})")).arrivals(Batch::new(n))
     }
 
+    /// Batch of `n` on the no-collision-detection channel (Jiang–Zheng,
+    /// arXiv:2111.06650): listeners cannot tell collisions from silence.
+    pub fn nocd_batch(n: u64) -> Scenario<Batch, NoJam> {
+        Scenario::named(format!("nocd-batch(n={n})"))
+            .arrivals(Batch::new(n))
+            .model(ChannelModel::NoCollisionDetection)
+    }
+
+    /// Jammed batch of `n` on the costly-collisions channel
+    /// (Anderton–Young, arXiv:1705.09271): a `k`-way collision occupies
+    /// `1 + ceil(alpha·k)` physical slots.
+    pub fn costly_jam_batch(n: u64, alpha: f64, rho: f64) -> Scenario<Batch, RandomJam> {
+        Scenario::named(format!("costly-jam-batch(n={n},alpha={alpha},rho={rho})"))
+            .arrivals(Batch::new(n))
+            .jammer(RandomJam::new(rho))
+            .model(ChannelModel::CostlyCollisions { alpha })
+    }
+
     /// One bounded, type-erased instance of every canonical scenario,
     /// scaled to roughly `n` packets. The order is stable; names identify
     /// the entries.
@@ -545,6 +633,13 @@ pub mod scenarios {
                 .boxed(),
             saturated(32, n).boxed(),
             protocol_faceoff(n).boxed(),
+            // Model-variant entries are appended so the indices (and pinned
+            // per-name recordings) of the original ten stay stable. The
+            // no-CD entry is horizon-capped: a full-sensing protocol that
+            // reads collisions as silence can keep escalating forever, and
+            // the registry promises bounded runs for *any* protocol.
+            nocd_batch(n).until_slot(n.saturating_mul(200)).boxed(),
+            costly_jam_batch(n, 0.5, 0.1).boxed(),
         ]
     }
 }

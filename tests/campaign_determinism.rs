@@ -12,8 +12,25 @@ fn faceoff_artifact_is_byte_identical_across_shard_counts() {
     let spec = campaigns::faceoff_small_spec(42);
     let oracle = spec.run_serial();
     let json = oracle.to_json();
-    assert!(json.contains("\"schema\": \"lowsense-campaign/1\""));
+    assert!(json.contains("\"schema\": \"lowsense-campaign/2\""));
     for shards in [1, 2, 8] {
+        let run = spec.run_sharded(shards);
+        assert_eq!(run, oracle, "cell statistics drifted at {shards} shards");
+        assert_eq!(
+            run.to_json(),
+            json,
+            "artifact bytes drifted at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn feedback_grid_artifact_is_byte_identical_across_shard_counts() {
+    let spec = campaigns::feedback_grid_small_spec(42);
+    let oracle = spec.run_serial();
+    let json = oracle.to_json();
+    assert!(json.contains("\"models\": [\"ternary\", \"no-cd\", \"costly(alpha=0.5)\"]"));
+    for shards in [1, 4] {
         let run = spec.run_sharded(shards);
         assert_eq!(run, oracle, "cell statistics drifted at {shards} shards");
         assert_eq!(

@@ -1,0 +1,303 @@
+//! Pre-refactor recordings of the ternary observation stream.
+//!
+//! The pinned hashes below were captured from the engines **before** the
+//! channel model became a first-class `FeedbackModel` axis, by folding
+//! every [`Observation`] delivered to any packet (slot, feedback, sent,
+//! succeeded — in delivery order) into one FNV-1a accumulator per run.
+//! The `Ternary` model must reproduce this stream bit for bit: any drift
+//! here means the refactor changed what protocols perceive, even if the
+//! aggregate `RunResult`s still happened to agree.
+//!
+//! Two layers of pinning:
+//!
+//! 1. **Recorded streams** — the tables below, checked by scenario *name*
+//!    against the registry (the registry has since grown model-variant
+//!    entries appended at the end; the original entries are unchanged).
+//! 2. **Mapping replica** — a proptest holds `Ternary`'s listener and
+//!    sender mappings to an inline copy of the pre-refactor code, where a
+//!    single `outcome.feedback()` value served both roles and no outcome
+//!    dilated the clock. Together with layer 1 this pins the whole
+//!    observation stream: the mapping is the old mapping, and the streams
+//!    it produces are the old streams.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lowsense::{LowSensing, Params};
+use lowsense_baselines::WindowedBeb;
+use lowsense_sim::feedback::{
+    resolve_slot, Feedback, FeedbackModel, Intent, Observation, SlotOutcome, Ternary,
+};
+use lowsense_sim::packet::PacketId;
+use lowsense_sim::protocol::{Protocol, SparseProtocol};
+use lowsense_sim::rng::SimRng;
+use lowsense_sim::scenario::{scenarios, DynScenario};
+use proptest::prelude::*;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Encodes one observation exactly as the recording harness did:
+/// slot, the ternary feedback as 0/1/2, then the sent/succeeded bits.
+fn encode(obs: &Observation) -> u64 {
+    let fb = match obs.feedback {
+        Feedback::Empty => 0u64,
+        Feedback::Success => 1,
+        Feedback::Noisy => 2,
+    };
+    mix(
+        mix(mix(FNV_OFFSET, obs.slot), fb),
+        ((obs.sent as u64) << 1) | obs.succeeded as u64,
+    )
+}
+
+/// A transparent wrapper that folds every delivered observation into a
+/// shared accumulator, then forwards it to the wrapped protocol. It adds
+/// no randomness and relies on the default batched surface (four scalar
+/// calls), which the batch contract pins bit-identical to any override.
+#[derive(Clone)]
+struct Tap<P> {
+    inner: P,
+    log: Rc<RefCell<u64>>,
+}
+
+impl<P: Protocol> Protocol for Tap<P> {
+    fn intent(&mut self, rng: &mut SimRng) -> Intent {
+        self.inner.intent(rng)
+    }
+    fn observe(&mut self, obs: &Observation) {
+        let mut h = self.log.borrow_mut();
+        *h = mix(*h, encode(obs));
+        self.inner.observe(obs);
+    }
+    fn send_probability(&self) -> f64 {
+        self.inner.send_probability()
+    }
+    fn next_wake(&mut self, rng: &mut SimRng) -> Option<u64> {
+        self.inner.next_wake(rng)
+    }
+}
+
+impl<P: SparseProtocol> SparseProtocol for Tap<P> {
+    fn send_on_access(&mut self, rng: &mut SimRng) -> bool {
+        self.inner.send_on_access(rng)
+    }
+}
+
+/// Observation-stream hash of one sparse run of `Tap<LowSensing>`.
+fn lsb_sparse_hash(scenario: &DynScenario, seed: u64) -> u64 {
+    let log = Rc::new(RefCell::new(FNV_OFFSET));
+    let sink = log.clone();
+    let _ = scenario.seeded(seed).run_sparse(move |_| Tap {
+        inner: LowSensing::new(Params::default()),
+        log: sink.clone(),
+    });
+    let h = *log.borrow();
+    h
+}
+
+/// Observation-stream hash of one dense run of `Tap<LowSensing>`.
+fn lsb_dense_hash(scenario: &DynScenario, seed: u64) -> u64 {
+    let log = Rc::new(RefCell::new(FNV_OFFSET));
+    let sink = log.clone();
+    let _ = scenario.seeded(seed).run_dense(move |_| Tap {
+        inner: LowSensing::new(Params::default()),
+        log: sink.clone(),
+    });
+    let h = *log.borrow();
+    h
+}
+
+/// Observation-stream hash of one sparse run of `Tap<WindowedBeb>` —
+/// a sender-only stream (BEB never listens), covering the sender
+/// observation path in isolation.
+fn beb_sparse_hash(scenario: &DynScenario, seed: u64) -> u64 {
+    let log = Rc::new(RefCell::new(FNV_OFFSET));
+    let sink = log.clone();
+    let _ = scenario.seeded(seed).run_sparse(move |rng| Tap {
+        inner: WindowedBeb::new(2, 16, rng),
+        log: sink.clone(),
+    });
+    let h = *log.borrow();
+    h
+}
+
+/// The registry size the recordings were taken at.
+const N: u64 = 48;
+
+/// Sparse engine, `LowSensing`, every pre-refactor registry scenario,
+/// seeds 1 and 2. Captured at the commit before `FeedbackModel` existed.
+const SPARSE_LSB: &[(&str, u64, u64)] = &[
+    ("batch-drain(n=48)", 1, 0xb623282b0fe39fcf),
+    ("batch-drain(n=48)", 2, 0x97591f4d8f1763ec),
+    ("random-jam-batch(n=48,rho=0.2)", 1, 0xddd1a69884057b72),
+    ("random-jam-batch(n=48,rho=0.2)", 2, 0xbc5c02d5cbedf0bb),
+    ("burst-jam-batch(n=48,4/16)", 1, 0x90fcedd6d7beaf07),
+    ("burst-jam-batch(n=48,4/16)", 2, 0xf006b9054eb43d52),
+    ("reactive-dos-batch(n=48,budget=12)", 1, 0xe03fcf9afdd156f2),
+    ("reactive-dos-batch(n=48,budget=12)", 2, 0x474802be906a4671),
+    ("poisson-stream(rate=0.05,total=48)", 1, 0x519d475e6c1993f0),
+    ("poisson-stream(rate=0.05,total=48)", 2, 0x1ed34fcdfe4ee1ea),
+    (
+        "bernoulli-stream(rate=0.02,total=48)",
+        1,
+        0x7fd3586bd16aeb67,
+    ),
+    (
+        "bernoulli-stream(rate=0.02,total=48)",
+        2,
+        0x62abe3e427c6a15b,
+    ),
+    (
+        "adversarial-queuing(lambda=0.1,S=128,Front)",
+        1,
+        0xd18ac357bb5c9cbc,
+    ),
+    (
+        "adversarial-queuing(lambda=0.1,S=128,Front)",
+        2,
+        0xb3b99cf0b8703700,
+    ),
+    (
+        "queuing-jammed(arr=0.08,jam=0.05,S=128)",
+        1,
+        0x5c7fe51425bc9d85,
+    ),
+    (
+        "queuing-jammed(arr=0.08,jam=0.05,S=128)",
+        2,
+        0x471ec60316d1e634,
+    ),
+    ("saturated(burst=32,total=48)", 1, 0x7b3e2c845386619a),
+    ("saturated(burst=32,total=48)", 2, 0x7a5e3b8a3ccfd01c),
+    ("protocol-faceoff(n=48)", 1, 0xb623282b0fe39fcf),
+    ("protocol-faceoff(n=48)", 2, 0x97591f4d8f1763ec),
+];
+
+/// Dense engine spot checks (same protocol, the slot-by-slot oracle).
+const DENSE_LSB: &[(&str, u64, u64)] = &[
+    ("batch-drain(n=48)", 1, 0x824f93f4e99163ac),
+    ("random-jam-batch(n=48,rho=0.2)", 1, 0x1bf07387ffb157eb),
+    ("burst-jam-batch(n=48,4/16)", 1, 0x4e8a7846338b8721),
+];
+
+/// Sender-only spot checks (`WindowedBeb` never listens, so these pin the
+/// sender observation path — the path whose feedback now flows through
+/// `sender_feedback` — in isolation from the listener cohorts).
+const SPARSE_BEB: &[(&str, u64, u64)] = &[
+    ("batch-drain(n=48)", 1, 0x0adec22f1c0d733c),
+    ("random-jam-batch(n=48,rho=0.2)", 1, 0xe09c03cae040d4c8),
+    ("burst-jam-batch(n=48,4/16)", 1, 0x9218f3677ffa21a3),
+];
+
+/// Looks a scenario up by exact name in the canonical registry. The
+/// recordings predate the appended model-variant entries, so position is
+/// not load-bearing — the name is.
+fn by_name(name: &str) -> DynScenario {
+    scenarios::registry(N)
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("scenario {name:?} missing from registry"))
+}
+
+#[test]
+fn sparse_lsb_streams_match_pre_refactor_recordings() {
+    for &(name, seed, expected) in SPARSE_LSB {
+        let got = lsb_sparse_hash(&by_name(name), seed);
+        assert_eq!(
+            got, expected,
+            "{name} (seed {seed}): sparse LSB observation stream drifted \
+             from the pre-refactor recording (got 0x{got:016x})"
+        );
+    }
+}
+
+#[test]
+fn dense_lsb_streams_match_pre_refactor_recordings() {
+    for &(name, seed, expected) in DENSE_LSB {
+        let got = lsb_dense_hash(&by_name(name), seed);
+        assert_eq!(
+            got, expected,
+            "{name} (seed {seed}): dense LSB observation stream drifted \
+             from the pre-refactor recording (got 0x{got:016x})"
+        );
+    }
+}
+
+#[test]
+fn sender_only_streams_match_pre_refactor_recordings() {
+    for &(name, seed, expected) in SPARSE_BEB {
+        let got = beb_sparse_hash(&by_name(name), seed);
+        assert_eq!(
+            got, expected,
+            "{name} (seed {seed}): sender-only BEB observation stream \
+             drifted from the pre-refactor recording (got 0x{got:016x})"
+        );
+    }
+}
+
+/// The inline pre-refactor replica: one `outcome.feedback()` value served
+/// listeners and senders alike, and nothing stretched the clock. Copied
+/// (not imported) from the pre-refactor engine code on purpose — if the
+/// shared mapping changes, this copy keeps remembering the original.
+fn old_ternary_feedback(outcome: &SlotOutcome) -> Feedback {
+    match outcome {
+        SlotOutcome::Empty => Feedback::Empty,
+        SlotOutcome::Success { .. } => Feedback::Success,
+        SlotOutcome::Collision { .. } | SlotOutcome::Jammed { .. } => Feedback::Noisy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Ternary` is the pre-refactor channel, observation for observation:
+    /// for every reachable slot outcome, the listener mapping, the sender
+    /// mapping (regardless of the `succeeded` flag the engine now passes
+    /// alongside), and the zero clock overhead all match the inline
+    /// replica of the old code.
+    #[test]
+    fn ternary_mappings_replicate_the_pre_refactor_channel(
+        senders in 0usize..40,
+        jammed_bit in 0u8..2,
+        succeeded_bit in 0u8..2,
+    ) {
+        let (jammed, succeeded) = (jammed_bit == 1, succeeded_bit == 1);
+        let ids: Vec<PacketId> = (0..senders as u32).map(PacketId).collect();
+        let outcome = resolve_slot(jammed, &ids);
+        let old = old_ternary_feedback(&outcome);
+        prop_assert_eq!(Ternary.listener_feedback(&outcome), old);
+        prop_assert_eq!(Ternary.sender_feedback(&outcome, succeeded), old);
+        prop_assert_eq!(Ternary.overhead_slots(&outcome), 0);
+    }
+
+    /// The scenario layer's default channel is `Ternary`: an explicit
+    /// `.model(ChannelModel::Ternary)` produces the exact stream of the
+    /// default builder, so the recordings above pin the model axis too.
+    #[test]
+    fn default_channel_is_ternary_stream_for_stream(
+        scenario_idx in 0usize..10,
+        seed in 1u64..1_000,
+    ) {
+        use lowsense_sim::feedback::ChannelModel;
+        let registry = scenarios::registry(24);
+        let s = &registry[scenario_idx % 10];
+        let log_default = Rc::new(RefCell::new(FNV_OFFSET));
+        let sink = log_default.clone();
+        let _ = s.seeded(seed).run_sparse(move |_| Tap {
+            inner: LowSensing::new(Params::default()),
+            log: sink.clone(),
+        });
+        let log_explicit = Rc::new(RefCell::new(FNV_OFFSET));
+        let sink = log_explicit.clone();
+        let _ = s.seeded(seed).model(ChannelModel::Ternary).run_sparse(move |_| Tap {
+            inner: LowSensing::new(Params::default()),
+            log: sink.clone(),
+        });
+        prop_assert_eq!(*log_default.borrow(), *log_explicit.borrow());
+    }
+}

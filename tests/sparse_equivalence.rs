@@ -367,6 +367,63 @@ proptest! {
     }
 }
 
+/// The channel-model axis under the three-way check: the full registry,
+/// run under each alternative [`ChannelModel`], must stay bit-identical
+/// across the wheel, the flat ring, and the heap reference. The models
+/// change what protocols hear (no-CD collapses collisions into silence)
+/// and how the physical clock advances (costly collisions accumulate
+/// skew), so this pins that both hooks live in the *shared* loop body and
+/// core — not in any engine-specific path one queue could drift away from.
+#[test]
+fn model_axis_three_way_bit_identical() {
+    for model in [
+        ChannelModel::NoCollisionDetection,
+        ChannelModel::CostlyCollisions { alpha: 0.5 },
+    ] {
+        for scenario in scenarios::registry(48) {
+            // Horizon-capped: full-sensing LSB can escalate forever when
+            // no-CD hides collisions, and equivalence only needs bounded
+            // identical runs.
+            let s = scenario.seeded(31).model(model).until_slot(10_000);
+            let what = format!("{} under {}", s.name(), model.label());
+            assert_three_way(&s, lsb(), &what);
+        }
+    }
+}
+
+/// Baseline protocols under the alternative models on a jammed batch:
+/// sender-only protocols (BEB family) exercise `sender_feedback`, the
+/// polynomial ladder exercises the scalar observation path, and the jam
+/// mix keeps the no-overhead-for-jams rule of `CostlyCollisions` honest
+/// across all three sparse implementations.
+#[test]
+fn baselines_three_way_bit_identical_under_models() {
+    for model in [
+        ChannelModel::NoCollisionDetection,
+        ChannelModel::CostlyCollisions { alpha: 0.5 },
+    ] {
+        let s = scenarios::random_jam_batch(48, 0.15)
+            .seed(11)
+            .model(model)
+            .until_slot(5_000);
+        assert_three_way(
+            &s,
+            |rng: &mut SimRng| WindowedBeb::new(4, 16, rng),
+            &format!("windowed-beb under {}", model.label()),
+        );
+        assert_three_way(
+            &s,
+            |_: &mut SimRng| ProbBeb::new(0.25),
+            &format!("prob-beb under {}", model.label()),
+        );
+        assert_three_way(
+            &s,
+            |rng: &mut SimRng| PolynomialBackoff::new(4, 2, rng),
+            &format!("polynomial under {}", model.label()),
+        );
+    }
+}
+
 /// `totals_only` runs (the benchmark configuration) are equivalent too.
 #[test]
 fn totals_only_bit_identical() {
