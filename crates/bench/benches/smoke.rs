@@ -19,11 +19,15 @@
 //! adds the channel-model smoke entry `sparse_lsb_16384_nocd` (the same
 //! LSB batch on the no-collision-detection channel, horizon capped because
 //! full-sensing LSB livelocks there — the entry times the model dispatch
-//! path, not a drain):
+//! path, not a drain); schema 7 adds the mid-tier `sparse_lsb_100k`
+//! (engine + phases entries, tracking the scaling curve between 16384 and
+//! 1M), grows the phase shares from 10 to 13 slugs (the staged
+//! gather/scatter path's `permute`/`gather`/`scatter`), and breaks the
+//! staging buffers out as `stage_bytes` in the capacity section:
 //!
 //! ```json
 //! {
-//!   "schema": "lowsense-bench-engine/6",
+//!   "schema": "lowsense-bench-engine/7",
 //!   "engines": { "<name>": { "slots": N, "seconds": S, "slots_per_sec": R,
 //!                            "accesses": A, "accesses_per_sec": Q } },
 //!   "campaign": { "<name>": { "cells": C, "runs": U, "seconds": S,
@@ -32,6 +36,7 @@
 //!                           "shares": { "<slug>": F, ... } } },
 //!   "capacity": { "<name>": { "stations": N, "horizon": H,
 //!                             "engine_bytes": B, "state_bytes": SB,
+//!                             "stage_bytes": GB,
 //!                             "bytes_per_station": X, "samples": K } }
 //! }
 //! ```
@@ -60,6 +65,10 @@ const REPS: u64 = 5;
 /// cheap; station count is what this tier stresses).
 const CAP_STATIONS: u64 = 1_000_000;
 const CAP_HORIZON: u64 = 100_000;
+/// The mid tier between the 16384 drain and the 1M capacity tier: first
+/// point past the staged gather/scatter gate (6.4 MB state lane), same
+/// horizon cap as the 1M tier so cyc/access figures are comparable.
+const MID_STATIONS: u64 = 100_000;
 /// Fewer reps at capacity scale — one warm-up plus two measured seeds.
 const CAP_REPS: u64 = 2;
 // Benches run with CWD = the package dir; anchor the report at the
@@ -160,6 +169,17 @@ fn main() {
                 .seeded(seed)
                 .run_sparse(|_| LowSensing::new(Params::default()))
         }),
+        // The mid tier: 10^5 stations, the first smoke point whose state
+        // lane overflows the cache and runs the staged gather/scatter
+        // path. Tracks the scaling curve between the in-cache 16384 drain
+        // and the 1M capacity tier.
+        measure_reps("sparse_lsb_100k", CAP_REPS, |seed| {
+            scenarios::batch_drain(MID_STATIONS)
+                .totals_only()
+                .until_slot(CAP_HORIZON)
+                .seeded(seed)
+                .run_sparse(|_| LowSensing::new(Params::default()))
+        }),
         // The capacity tier: 10^6 stations on the hierarchical wheel, horizon
         // capped. Stresses station count (queue fill, table lanes, cascade
         // traffic), not horizon length.
@@ -199,6 +219,11 @@ fn main() {
     // every rep).
     let phase_profile = profile_sparse_smoke(16_384, 5);
 
+    // The mid tier's phase profile: the first point where the staged
+    // permute/gather/scatter slugs accrue cycles (one seed, validated
+    // against run_sparse like every profiled entry; probe unused here).
+    let (mid_profile, _) = profile_sparse_capacity(MID_STATIONS, CAP_HORIZON, 1);
+
     // The capacity tier's phase profile and memory budget, from the same
     // instrumented replica with the periodic memory probe attached (one
     // seed, validated against run_sparse on the capped scenario).
@@ -210,7 +235,7 @@ fn main() {
     );
 
     let mut json =
-        String::from("{\n  \"schema\": \"lowsense-bench-engine/6\",\n  \"engines\": {\n");
+        String::from("{\n  \"schema\": \"lowsense-bench-engine/7\",\n  \"engines\": {\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         json.push_str(&format!(
@@ -249,15 +274,17 @@ fn main() {
             json.push_str(&format!(" }} }}{sep}\n"));
         };
     push_phases(&mut json, "sparse_lsb_16384", &phase_profile, ",");
+    push_phases(&mut json, "sparse_lsb_100k", &mid_profile, ",");
     push_phases(&mut json, "sparse_lsb_1M", &cap_profile, "");
     json.push_str("  },\n  \"capacity\": {\n");
     json.push_str(&format!(
         "    \"sparse_lsb_1M\": {{ \"stations\": {}, \"horizon\": {}, \"engine_bytes\": {}, \
-         \"state_bytes\": {}, \"bytes_per_station\": {:.2}, \"samples\": {} }}\n",
+         \"state_bytes\": {}, \"stage_bytes\": {}, \"bytes_per_station\": {:.2}, \"samples\": {} }}\n",
         cap_probe.peak_live,
         CAP_HORIZON,
         cap_probe.peak_engine_bytes,
         cap_probe.peak_state_bytes,
+        cap_probe.peak_stage_bytes,
         cap_probe.bytes_per_station(),
         cap_probe.samples
     ));
@@ -282,8 +309,17 @@ fn main() {
         "phases_sparse_lsb_16384",
         phase_profile.accesses,
         phase_profile.cyc_per_access(),
-        100.0 * phase_profile.profile.share(5),
-        100.0 * phase_profile.profile.share(6),
+        100.0 * phase_profile.profile.share(7),
+        100.0 * phase_profile.profile.share(8),
+    );
+    println!(
+        "smoke: {:<28} {:>12} accesses  ({:.1} cyc/access; permute {:.1}%, gather {:.1}%, scatter {:.1}%)",
+        "phases_sparse_lsb_100k",
+        mid_profile.accesses,
+        mid_profile.cyc_per_access(),
+        100.0 * mid_profile.profile.share(3),
+        100.0 * mid_profile.profile.share(4),
+        100.0 * mid_profile.profile.share(11),
     );
     println!(
         "smoke: {:<28} {:>12} accesses  ({:.1} cyc/access; {:.1} engine B/station, {:.1} state B/station)",

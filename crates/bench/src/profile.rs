@@ -8,12 +8,15 @@
 //! cannot silently describe a stale copy of the loop.
 //!
 //! Phase timestamps cost ~8 cycles each (`rdtsc`) and are placed per slot
-//! or per 4-listener cohort, a few percent of the loop; treat the shares as
-//! accurate to a point or two.
+//! and per pass — the listener work is three whole-cohort passes (observe,
+//! wake draws, schedule), so a dense slot pays three reads for all its
+//! listeners, not three per 4-listener quad. Treat the shares as accurate
+//! to a point or two.
 //!
 //! The replica is also where the capacity tier's memory budget is measured:
 //! a [`CapacityProbe`] passed to [`run_profiled`] samples the wake wheel's
-//! footprint and the packet table's bookkeeping lanes every 1024 event
+//! footprint, the packet table's bookkeeping lanes, and the staged
+//! gather/scatter buffers (address plan + state scratch) every 1024 event
 //! slots, yielding the peak engine-overhead bytes per live station that the
 //! million-station tier budgets (protocol state is reported separately —
 //! its size belongs to the protocol, not the engine).
@@ -21,7 +24,7 @@
 use lowsense::{LowSensing, Params};
 use lowsense_sim::arrivals::{ArrivalProcess, Batch};
 use lowsense_sim::config::{Limits, SimConfig};
-use lowsense_sim::engine::{Dense, EngineCore, PacketTable, WakeQueue};
+use lowsense_sim::engine::{staging_applies, Dense, EngineCore, PacketTable, StagePlan, WakeQueue};
 use lowsense_sim::feedback::{Observation, SlotOutcome};
 use lowsense_sim::hooks::{Hooks, NoHooks};
 use lowsense_sim::jamming::{Jammer, NoJam};
@@ -58,8 +61,16 @@ pub struct Phase {
     pub label: &'static str,
 }
 
-/// The ten phases of the sparse hot loop, in loop order.
-pub const PHASES: [Phase; 10] = [
+/// The thirteen phases of the sparse hot loop, in loop order.
+///
+/// The `permute`, `gather`, and `scatter` phases cover the staged
+/// gather/scatter path and accumulate zero cycles on slots below the
+/// staging gate (small tiers run the direct path, where `split` reads the
+/// state lane in insertion order). On staged slots, `split` covers only
+/// the `send_on_access` draws against the contiguous scratch — the
+/// address-sorted state-lane traffic it used to pay is what `permute` +
+/// `gather` + `scatter` now account for explicitly.
+pub const PHASES: [Phase; 13] = [
     Phase {
         slug: "control",
         label: "control (next event, gaps, advance)",
@@ -71,6 +82,14 @@ pub const PHASES: [Phase; 10] = [
     Phase {
         slug: "take",
         label: "take (bucket drain)",
+    },
+    Phase {
+        slug: "permute",
+        label: "permute (radix id→address sort, staged slots)",
+    },
+    Phase {
+        slug: "gather",
+        label: "gather (resolve + state copy-in sweeps, staged slots)",
     },
     Phase {
         slug: "split",
@@ -95,6 +114,10 @@ pub const PHASES: [Phase; 10] = [
     Phase {
         slug: "senders",
         label: "senders (observe, reschedule)",
+    },
+    Phase {
+        slug: "scatter",
+        label: "scatter (address-ordered state copy-back, staged slots)",
     },
     Phase {
         slug: "depart",
@@ -154,10 +177,16 @@ impl SmokeProfile {
 /// (`LowSensing` alone is 64 B), not the engine's.
 #[derive(Default)]
 pub struct CapacityProbe {
-    /// Peak bytes across the wake wheel and the table's id/remap lanes.
+    /// Peak bytes across the wake wheel, the table's id/remap lanes, and
+    /// the staging buffers (plan + state scratch).
     pub peak_engine_bytes: usize,
     /// Peak bytes in the protocol-state lane.
     pub peak_state_bytes: usize,
+    /// Peak bytes in the staged gather/scatter machinery alone (the stage
+    /// plan's permutation buffers plus the per-slot state scratch) — a
+    /// sub-slice of [`peak_engine_bytes`](Self::peak_engine_bytes), broken
+    /// out so the staging cost stays visible in `BENCH_engine.json`.
+    pub peak_stage_bytes: usize,
     /// Largest live-station count seen at any sample point.
     pub peak_live: u64,
     /// Number of samples taken (one per 1024 event slots).
@@ -165,10 +194,19 @@ pub struct CapacityProbe {
 }
 
 impl CapacityProbe {
-    fn sample<P>(&mut self, queue: &WakeQueue, packets: &PacketTable<P>, live: u64) {
-        let engine = queue.footprint_bytes() + packets.lane_bytes();
+    fn sample<P>(
+        &mut self,
+        queue: &WakeQueue,
+        packets: &PacketTable<P>,
+        stage: &StagePlan,
+        scratch_bytes: usize,
+        live: u64,
+    ) {
+        let staging = stage.footprint_bytes() + scratch_bytes;
+        let engine = queue.footprint_bytes() + packets.lane_bytes() + staging;
         self.peak_engine_bytes = self.peak_engine_bytes.max(engine);
         self.peak_state_bytes = self.peak_state_bytes.max(packets.state_bytes());
+        self.peak_stage_bytes = self.peak_stage_bytes.max(staging);
         self.peak_live = self.peak_live.max(live);
         self.samples += 1;
     }
@@ -186,6 +224,20 @@ impl CapacityProbe {
 ///
 /// When `probe` is given, engine memory is sampled once per 1024 event
 /// slots (a cold path on 0.1% of slots; the phase shares are unaffected).
+/// Local mirror of the engine's per-slot scratch hysteresis (the sim-crate
+/// originals are crate-private): shrink back to `cap` only once capacity
+/// exceeds twice `cap`, so steady-state slots never reallocate but a
+/// pathological burst's allocation is released instead of being carried —
+/// and counted by the capacity probe — for the rest of the run.
+const SCRATCH_CAP: usize = 4096;
+
+#[inline]
+fn cap_scratch<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() > 2 * cap {
+        v.shrink_to(cap);
+    }
+}
+
 pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
     cfg: &SimConfig,
     arrivals: A,
@@ -207,6 +259,13 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
     let mut listeners: Vec<PacketId> = Vec::new();
     let mut senders_at: Vec<Dense> = Vec::new();
     let mut listeners_at: Vec<Dense> = Vec::new();
+    // Staged-path mirrors of the `_at` vectors: scratch positions instead
+    // of dense handles, plus the address plan and the state scratch.
+    let mut senders_pos: Vec<u32> = Vec::new();
+    let mut listeners_pos: Vec<u32> = Vec::new();
+    let mut wakes: Vec<Option<Slot>> = Vec::new();
+    let mut stage = StagePlan::new();
+    let mut scratch: Vec<P> = Vec::new();
     let mut event_slots: u64 = 0;
     let mut now: Slot = 0;
 
@@ -272,7 +331,13 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
         event_slots += 1;
         if event_slots % 1024 == 1 {
             if let Some(p) = probe.as_deref_mut() {
-                p.sample(&queue, &packets, active_count);
+                p.sample(
+                    &queue,
+                    &packets,
+                    &stage,
+                    scratch.capacity() * std::mem::size_of::<P>(),
+                    active_count,
+                );
             }
         }
 
@@ -291,27 +356,61 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
             now = te + 1;
             core.step_done();
             t0 = tsc();
-            profile.add(4, t3, t0);
+            profile.add(6, t3, t0);
             continue;
         }
 
+        // Split, with the same staging gate as the engine: direct slots
+        // resolve handles in insertion order; staged slots first build the
+        // address plan (permute), stream the states into the scratch
+        // (gather), and split against the scratch through the inverse
+        // permutation.
+        let staged = staging_applies(
+            participants.len(),
+            packets.dense_len() * std::mem::size_of::<P>(),
+        );
         senders.clear();
         listeners.clear();
         senders_at.clear();
         listeners_at.clear();
-        for &id in &participants {
-            let d = packets.resolve(PacketId(id));
-            let p = packets.state_at_mut(d);
-            if p.send_on_access(&mut core.rng) {
-                senders.push(PacketId(id));
-                senders_at.push(d);
-            } else {
-                listeners.push(PacketId(id));
-                listeners_at.push(d);
+        senders_pos.clear();
+        listeners_pos.clear();
+        let t4;
+        if staged {
+            stage.build_order(&participants);
+            let tperm = tsc();
+            profile.add(3, t3, tperm);
+            stage.gather(&packets, &mut scratch);
+            let tgath = tsc();
+            profile.add(4, tperm, tgath);
+            let pos_of = stage.pos_of();
+            for (k, &id) in participants.iter().enumerate() {
+                let pos = pos_of[k];
+                if scratch[pos as usize].send_on_access(&mut core.rng) {
+                    senders.push(PacketId(id));
+                    senders_pos.push(pos);
+                } else {
+                    listeners.push(PacketId(id));
+                    listeners_pos.push(pos);
+                }
             }
+            t4 = tsc();
+            profile.add(5, tgath, t4);
+        } else {
+            for &id in &participants {
+                let d = packets.resolve(PacketId(id));
+                let p = packets.state_at_mut(d);
+                if p.send_on_access(&mut core.rng) {
+                    senders.push(PacketId(id));
+                    senders_at.push(d);
+                } else {
+                    listeners.push(PacketId(id));
+                    listeners_at.push(d);
+                }
+            }
+            t4 = tsc();
+            profile.add(5, t3, t4);
         }
-        let t4 = tsc();
-        profile.add(3, t3, t4);
 
         let jam = core.jam_decision(te, active_count, contention, &senders);
         let outcome = core.resolve(te, jam, &senders);
@@ -323,82 +422,188 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
             sent: false,
             succeeded: false,
         };
-        let mut tp = tsc();
-        profile.add(4, t4, tp);
-
-        let mut quads = listeners.chunks_exact(4);
-        let mut quads_at = listeners_at.chunks_exact(4);
-        for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
-            let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
-            let before_sp = [
-                lanes[0].send_probability(),
-                lanes[1].send_probability(),
-                lanes[2].send_probability(),
-                lanes[3].send_probability(),
-            ];
-            P::observe4(&mut lanes, &obs);
-            for (k, &id) in quad.iter().enumerate() {
-                core.metrics.note_listen(id);
-                contention += lanes[k].send_probability() - before_sp[k];
-            }
-            let tq = tsc();
-            profile.add(5, tp, tq);
-            let delays = P::next_wake4(&mut lanes, &mut core.rng);
-            let tr = tsc();
-            profile.add(6, tq, tr);
-            for (k, &id) in quad.iter().enumerate() {
-                if let Some(slot) = wake_slot(te + 1, delays[k]) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-            tp = tsc();
-            profile.add(7, tr, tp);
-        }
-        for (&id, &d) in quads.remainder().iter().zip(quads_at.remainder()) {
-            core.metrics.note_listen(id);
-            let p = packets.state_at_mut(d);
-            let before_sp = p.send_probability();
-            p.observe(&obs);
-            contention += p.send_probability() - before_sp;
-            let tq = tsc();
-            profile.add(5, tp, tq);
-            let delay = p.next_wake(&mut core.rng);
-            let tr = tsc();
-            profile.add(6, tq, tr);
-            if let Some(slot) = wake_slot(te + 1, delay) {
-                queue.schedule(slot, id.0);
-            }
-            tp = tsc();
-            profile.add(7, tr, tp);
-        }
-        let t5 = tp;
+        let tp = tsc();
+        profile.add(6, t4, tp);
 
         let winner = match outcome {
             SlotOutcome::Success { id } => Some(id),
             _ => None,
         };
-        for (&id, &d) in senders.iter().zip(&senders_at) {
-            core.metrics.note_send(id);
-            let succeeded = winner == Some(id);
-            let obs = Observation {
-                slot: te,
-                feedback: fb,
-                sent: true,
-                succeeded,
-            };
-            let p = packets.state_at_mut(d);
-            let before_sp = p.send_probability();
-            p.observe(&obs);
-            contention += p.send_probability() - before_sp;
-            if !succeeded {
-                let delay = p.next_wake(&mut core.rng);
-                if let Some(slot) = wake_slot(te + 1, delay) {
+        // The listener and sender passes, per path. The staged arm indexes
+        // the scratch by position; the direct arm is the pre-staging loop
+        // verbatim. Phase indices are shared (observe 7, wake 8, sched 9,
+        // senders 10); only the staged arm accrues scatter (11). The
+        // listener work is three whole-cohort passes mirroring
+        // `slot_passes` — one timestamp per pass, not per quad.
+        let t6 = if staged {
+            let mut quads = listeners.chunks_exact(4);
+            let mut quads_pos = listeners_pos.chunks_exact(4);
+            for (quad, quad_pos) in quads.by_ref().zip(quads_pos.by_ref()) {
+                let mut lanes = scratch
+                    .get_disjoint_mut([
+                        quad_pos[0] as usize,
+                        quad_pos[1] as usize,
+                        quad_pos[2] as usize,
+                        quad_pos[3] as usize,
+                    ])
+                    .expect("scratch positions are distinct");
+                let before_sp = [
+                    lanes[0].send_probability(),
+                    lanes[1].send_probability(),
+                    lanes[2].send_probability(),
+                    lanes[3].send_probability(),
+                ];
+                P::observe4(&mut lanes, &obs);
+                for (k, &id) in quad.iter().enumerate() {
+                    core.metrics.note_listen(id);
+                    contention += lanes[k].send_probability() - before_sp[k];
+                }
+            }
+            for (&id, &pos) in quads.remainder().iter().zip(quads_pos.remainder()) {
+                core.metrics.note_listen(id);
+                let p = &mut scratch[pos as usize];
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+            }
+            let tq = tsc();
+            profile.add(7, tp, tq);
+
+            wakes.clear();
+            let mut quads_pos = listeners_pos.chunks_exact(4);
+            for quad_pos in quads_pos.by_ref() {
+                let mut lanes = scratch
+                    .get_disjoint_mut([
+                        quad_pos[0] as usize,
+                        quad_pos[1] as usize,
+                        quad_pos[2] as usize,
+                        quad_pos[3] as usize,
+                    ])
+                    .expect("scratch positions are distinct");
+                let delays = P::next_wake4(&mut lanes, &mut core.rng);
+                wakes.extend(delays.iter().map(|&d| wake_slot(te + 1, d)));
+            }
+            for &pos in quads_pos.remainder() {
+                let delay = scratch[pos as usize].next_wake(&mut core.rng);
+                wakes.push(wake_slot(te + 1, delay));
+            }
+            let tr = tsc();
+            profile.add(8, tq, tr);
+
+            for (i, (&id, &wake)) in listeners.iter().zip(wakes.iter()).enumerate() {
+                if let Some(&Some(ahead)) = wakes.get(i + 16) {
+                    queue.prefetch_schedule(ahead);
+                }
+                if let Some(slot) = wake {
                     queue.schedule(slot, id.0);
                 }
             }
-        }
-        let t6 = tsc();
-        profile.add(8, t5, t6);
+            let t5 = tsc();
+            profile.add(9, tr, t5);
+
+            for (&id, &pos) in senders.iter().zip(&senders_pos) {
+                core.metrics.note_send(id);
+                let succeeded = winner == Some(id);
+                let obs = Observation {
+                    slot: te,
+                    feedback: fb,
+                    sent: true,
+                    succeeded,
+                };
+                let p = &mut scratch[pos as usize];
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+                if !succeeded {
+                    let delay = p.next_wake(&mut core.rng);
+                    if let Some(slot) = wake_slot(te + 1, delay) {
+                        queue.schedule(slot, id.0);
+                    }
+                }
+            }
+            let t6s = tsc();
+            profile.add(10, t5, t6s);
+
+            packets.scatter_from(stage.handles(), &scratch);
+            let t6 = tsc();
+            profile.add(11, t6s, t6);
+            t6
+        } else {
+            let mut quads = listeners.chunks_exact(4);
+            let mut quads_at = listeners_at.chunks_exact(4);
+            for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
+                let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
+                let before_sp = [
+                    lanes[0].send_probability(),
+                    lanes[1].send_probability(),
+                    lanes[2].send_probability(),
+                    lanes[3].send_probability(),
+                ];
+                P::observe4(&mut lanes, &obs);
+                for (k, &id) in quad.iter().enumerate() {
+                    core.metrics.note_listen(id);
+                    contention += lanes[k].send_probability() - before_sp[k];
+                }
+            }
+            for (&id, &d) in quads.remainder().iter().zip(quads_at.remainder()) {
+                core.metrics.note_listen(id);
+                let p = packets.state_at_mut(d);
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+            }
+            let tq = tsc();
+            profile.add(7, tp, tq);
+
+            wakes.clear();
+            let mut quads_at = listeners_at.chunks_exact(4);
+            for quad_at in quads_at.by_ref() {
+                let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
+                let delays = P::next_wake4(&mut lanes, &mut core.rng);
+                wakes.extend(delays.iter().map(|&d| wake_slot(te + 1, d)));
+            }
+            for &d in quads_at.remainder() {
+                let delay = packets.state_at_mut(d).next_wake(&mut core.rng);
+                wakes.push(wake_slot(te + 1, delay));
+            }
+            let tr = tsc();
+            profile.add(8, tq, tr);
+
+            for (i, (&id, &wake)) in listeners.iter().zip(wakes.iter()).enumerate() {
+                if let Some(&Some(ahead)) = wakes.get(i + 16) {
+                    queue.prefetch_schedule(ahead);
+                }
+                if let Some(slot) = wake {
+                    queue.schedule(slot, id.0);
+                }
+            }
+            let t5 = tsc();
+            profile.add(9, tr, t5);
+
+            for (&id, &d) in senders.iter().zip(&senders_at) {
+                core.metrics.note_send(id);
+                let succeeded = winner == Some(id);
+                let obs = Observation {
+                    slot: te,
+                    feedback: fb,
+                    sent: true,
+                    succeeded,
+                };
+                let p = packets.state_at_mut(d);
+                let before_sp = p.send_probability();
+                p.observe(&obs);
+                contention += p.send_probability() - before_sp;
+                if !succeeded {
+                    let delay = p.next_wake(&mut core.rng);
+                    if let Some(slot) = wake_slot(te + 1, delay) {
+                        queue.schedule(slot, id.0);
+                    }
+                }
+            }
+            let t6 = tsc();
+            profile.add(10, t5, t6);
+            t6
+        };
 
         if let Some(id) = winner {
             let p = packets.state(id);
@@ -409,11 +614,25 @@ pub fn run_profiled<A: ArrivalProcess, J: Jammer>(
             active_count -= 1;
             packets.maybe_compact();
         }
+        // Mirror of the engine's end-of-slot scratch hysteresis, so the
+        // capacity probe sees the same steady-state allocations the real
+        // loop carries (a burst's staging buffers are released, not held
+        // at their high-water mark for the rest of the run).
+        cap_scratch(&mut participants, SCRATCH_CAP);
+        cap_scratch(&mut senders, SCRATCH_CAP);
+        cap_scratch(&mut listeners, SCRATCH_CAP);
+        cap_scratch(&mut senders_at, SCRATCH_CAP);
+        cap_scratch(&mut listeners_at, SCRATCH_CAP);
+        cap_scratch(&mut senders_pos, SCRATCH_CAP);
+        cap_scratch(&mut listeners_pos, SCRATCH_CAP);
+        cap_scratch(&mut wakes, SCRATCH_CAP);
+        cap_scratch(&mut scratch, SCRATCH_CAP);
+        stage.cap();
         core.checkpoint(te, active_count, contention);
         now = te + 1;
         core.step_done();
         t0 = tsc();
-        profile.add(9, t6, t0);
+        profile.add(12, t6, t0);
     }
 
     core.finish()

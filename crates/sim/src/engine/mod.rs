@@ -12,8 +12,11 @@
 //!   a hierarchical timing-wheel wake set ([`wake`]) makes a channel access
 //!   `O(1)` amortized out to million-station horizons, per-packet state
 //!   lives in an epoch-compacted dense table ([`table`]) split into
-//!   per-field lanes, and silent slots are skipped exactly. Slots are
-//!   processed in insertion order — no per-slot sort.
+//!   per-field lanes, silent slots are skipped exactly, and high-fanout
+//!   slots over cache-busting state lanes run the address-ordered staged
+//!   gather/scatter path ([`stage`]). Slots are processed in insertion
+//!   order — the staging permutation reorders memory traffic only, never
+//!   the processing order.
 //! * [`sparse_reference`] — the retained heap-based sparse loop, keyed
 //!   `(slot, insertion_seq)`; the bit-for-bit equivalence oracle for
 //!   [`sparse`].
@@ -44,6 +47,7 @@ pub mod dense;
 pub mod grouped;
 pub mod sparse;
 pub mod sparse_reference;
+pub mod stage;
 pub mod table;
 pub mod wake;
 pub mod wake_flat;
@@ -53,6 +57,7 @@ pub use dense::{run_dense, run_dense_model};
 pub use grouped::{run_grouped, run_grouped_model, SymmetricProtocol};
 pub use sparse::{run_sparse, run_sparse_flat, run_sparse_flat_model, run_sparse_model};
 pub use sparse_reference::{run_sparse_reference, run_sparse_reference_model};
+pub use stage::{staging_applies, StagePlan, STAGE_MIN_LANE_BYTES, STAGE_MIN_PARTICIPANTS};
 pub use table::{Dense, PacketTable};
 pub use wake::WakeQueue;
 pub use wake_flat::FlatWakeQueue;

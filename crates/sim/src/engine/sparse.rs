@@ -24,11 +24,22 @@
 //! while [`run_sparse_flat`] runs the *same* body over the retained flat
 //! calendar ring ([`FlatWakeQueue`](crate::engine::wake_flat)) — a second,
 //! structurally different oracle used by the three-way equivalence tests.
-//! Within a slot, the split pass resolves each participant's id → dense
-//! index **once** into a [`Dense`] handle; the observe/wake passes then
-//! touch only the hot state lane (see [`table`](crate::engine::table)),
-//! never re-reading the remap. Handles never span a compaction: the engine
-//! compacts only at end-of-slot, after a depart.
+//! Within a slot, the passes address states by per-slot *position*, with
+//! two position spaces behind one generic pass body (`slot_passes`, over
+//! the [`SlotArena`](crate::engine::stage) arena trait). On the **direct**
+//! path the split pass resolves each participant's id → dense index
+//! **once**, and the observe/wake passes touch only the hot state lane
+//! (see [`table`](crate::engine::table)), never re-reading the remap. On
+//! the **staged** path — taken when the participant set is large *and* the
+//! state lane has outgrown the cache
+//! ([`staging_applies`]) — the
+//! engine radix-sorts the participants by dense address, **gathers** their
+//! states into prefetched contiguous scratch sweeps, runs the same
+//! passes against the scratch in canonical insertion order via the inverse
+//! permutation, and **scatters** the mutated states back before the depart
+//! path reads the table (see [`stage`](crate::engine::stage)). Either way,
+//! handles never span a compaction: the engine compacts only at
+//! end-of-slot, after a depart.
 //!
 //! Within one slot, packets are processed in **insertion order** — the
 //! order their wake events were scheduled — which the calendar queue hands
@@ -50,7 +61,8 @@
 use crate::arrivals::ArrivalProcess;
 use crate::config::SimConfig;
 use crate::engine::core::EngineCore;
-use crate::engine::table::{Dense, PacketTable};
+use crate::engine::stage::{staging_applies, SlotArena, StagePlan};
+use crate::engine::table::PacketTable;
 use crate::engine::wake::{cap_scratch, WakeQueue, WakeSet, SCRATCH_CAP};
 use crate::engine::wake_flat::FlatWakeQueue;
 use crate::feedback::{FeedbackModel, Observation, SlotOutcome, Ternary};
@@ -191,6 +203,178 @@ where
     run_sparse_with::<P, F, A, J, M, H, FlatWakeQueue>(cfg, arrivals, jammer, model, factory, hooks)
 }
 
+/// The slot's listener (observe + wake) and sender passes, generic over
+/// the [`SlotArena`] the participant states live in: the packet table on
+/// the direct path (a position is a dense-lane index), the staged scratch
+/// on the staged path (a position is a scratch index, routed through the
+/// stage plan's inverse permutation by the caller). Both paths are this
+/// one function monomorphized, so every RNG draw, observation, hook call,
+/// and contention accumulation happens in the same canonical insertion
+/// order on either path — bit-identity between the paths is by
+/// construction, not by keeping two loop bodies in sync.
+///
+/// The listener loop is split into an observation pass, a wake-draw pass,
+/// and a schedule pass, each sweeping the whole cohort before the next
+/// starts. Observations draw no randomness and scheduling draws nothing
+/// and touches no state, so the only RNG draws are the wake draws — and
+/// those run in the slot's insertion order in all three shapes
+/// (interleaved reference loop, two-pass, three-pass): the RNG stream,
+/// the hook sequence, the contention accumulation order, and the
+/// `queue.schedule` call order are all exactly the reference oracle's.
+/// The observe and wake passes run four listeners at a time through the
+/// protocol's batched observe/draw surface (`observe4` / `next_wake4`),
+/// whose contract is bit-identical lanes in cohort order; the wake pass
+/// parks its `wake_slot` results in the caller's `wakes` buffer so the
+/// schedule pass streams the queue without re-touching the state arena.
+/// Cohort collection is trivial: `listeners` is already in the slot's
+/// insertion order (the reference oracle's processing order), so the
+/// cohorts are consecutive quadruples, with the tail (< 4 packets) going
+/// through the scalar methods the defaults fall back to anyway.
+#[allow(clippy::too_many_arguments)]
+fn slot_passes<P, A, J, M, H, Q, S>(
+    arena: &mut S,
+    core: &mut EngineCore<A, J, M>,
+    queue: &mut Q,
+    hooks: &mut H,
+    te: Slot,
+    outcome: &SlotOutcome,
+    model: M,
+    contention: &mut f64,
+    senders: &[PacketId],
+    senders_pos: &[u32],
+    listeners: &[PacketId],
+    listeners_pos: &[u32],
+    wakes: &mut Vec<Option<Slot>>,
+) where
+    P: SparseProtocol,
+    A: ArrivalProcess,
+    J: Jammer,
+    M: FeedbackModel,
+    H: Hooks<P>,
+    Q: WakeSet,
+    S: SlotArena<P>,
+{
+    let fb = model.listener_feedback(outcome);
+    let obs = Observation::listener(te, fb);
+
+    // Observation pass: every listener sees the slot's feedback before any
+    // wake draw happens. Observations draw no randomness, so reordering
+    // them ahead of the draws leaves the RNG stream untouched, and the
+    // contention f64s are added in the same insertion order as the
+    // reference loop.
+    let mut quads = listeners.chunks_exact(4);
+    let mut quads_pos = listeners_pos.chunks_exact(4);
+    for (quad, quad_pos) in quads.by_ref().zip(quads_pos.by_ref()) {
+        let mut lanes = arena.four_at([quad_pos[0], quad_pos[1], quad_pos[2], quad_pos[3]]);
+        if hooks.wants_observe() {
+            let before = [
+                lanes[0].clone(),
+                lanes[1].clone(),
+                lanes[2].clone(),
+                lanes[3].clone(),
+            ];
+            P::observe4(&mut lanes, &obs);
+            for (k, &id) in quad.iter().enumerate() {
+                core.metrics.note_listen(id);
+                *contention += lanes[k].send_probability() - before[k].send_probability();
+                hooks.on_observe(te, id, &before[k], &*lanes[k]);
+            }
+        } else {
+            // Inert hooks: the `before` states exist only to feed
+            // `on_observe`, so skip the clones and keep just the prior
+            // send probabilities. The contention update below adds the
+            // exact same f64s in the exact same order as the cloning
+            // branch, so results stay bit-identical.
+            let before_sp = [
+                lanes[0].send_probability(),
+                lanes[1].send_probability(),
+                lanes[2].send_probability(),
+                lanes[3].send_probability(),
+            ];
+            P::observe4(&mut lanes, &obs);
+            for (k, &id) in quad.iter().enumerate() {
+                core.metrics.note_listen(id);
+                *contention += lanes[k].send_probability() - before_sp[k];
+            }
+        }
+    }
+    for (&id, &pos) in quads.remainder().iter().zip(quads_pos.remainder()) {
+        core.metrics.note_listen(id);
+        let p = arena.at_mut(pos);
+        if hooks.wants_observe() {
+            let before = p.clone();
+            p.observe(&obs);
+            *contention += p.send_probability() - before.send_probability();
+            hooks.on_observe(te, id, &before, p);
+        } else {
+            // Same clone elision as the quad path (see above): identical
+            // arithmetic, no state pair materialized for inert hooks.
+            let before_sp = p.send_probability();
+            p.observe(&obs);
+            *contention += p.send_probability() - before_sp;
+        }
+    }
+
+    // Wake-draw pass: the slot's only RNG draws, in the slot's insertion
+    // order — exactly the reference loop's stream. The resolved wake
+    // slots park in `wakes` (parallel to `listeners`) instead of going to
+    // the queue one by one.
+    wakes.clear();
+    let mut quads_pos = listeners_pos.chunks_exact(4);
+    for quad_pos in quads_pos.by_ref() {
+        let mut lanes = arena.four_at([quad_pos[0], quad_pos[1], quad_pos[2], quad_pos[3]]);
+        let delays = P::next_wake4(&mut lanes, &mut core.rng);
+        wakes.extend(delays.iter().map(|&d| wake_slot(te + 1, d)));
+    }
+    for &pos in quads_pos.remainder() {
+        let delay = arena.at_mut(pos).next_wake(&mut core.rng);
+        wakes.push(wake_slot(te + 1, delay));
+    }
+
+    // Schedule pass: pure queue traffic, no state-arena or RNG touches,
+    // same `queue.schedule` call sequence as the reference loop (listener
+    // insertion order), so every bucket's insertion order is preserved.
+    // The lookahead hints the bucket a few pushes out — a dense slot
+    // scatters its schedules across the whole wheel, so each push would
+    // otherwise stall on a cold bucket line.
+    for (i, (&id, &wake)) in listeners.iter().zip(wakes.iter()).enumerate() {
+        if let Some(&Some(ahead)) = wakes.get(i + 16) {
+            queue.prefetch_schedule(ahead);
+        }
+        if let Some(slot) = wake {
+            queue.schedule(slot, id.0);
+        }
+    }
+
+    let winner = match *outcome {
+        SlotOutcome::Success { id } => Some(id),
+        _ => None,
+    };
+    for (&id, &pos) in senders.iter().zip(senders_pos) {
+        core.metrics.note_send(id);
+        let succeeded = winner == Some(id);
+        let obs = Observation::sender(te, model.sender_feedback(outcome, succeeded), succeeded);
+        let p = arena.at_mut(pos);
+        if hooks.wants_observe() {
+            let before = p.clone();
+            p.observe(&obs);
+            *contention += p.send_probability() - before.send_probability();
+            hooks.on_observe(te, id, &before, p);
+        } else {
+            // Same clone elision as the listener paths above.
+            let before_sp = p.send_probability();
+            p.observe(&obs);
+            *contention += p.send_probability() - before_sp;
+        }
+        if !succeeded {
+            let delay = p.next_wake(&mut core.rng);
+            if let Some(slot) = wake_slot(te + 1, delay) {
+                queue.schedule(slot, id.0);
+            }
+        }
+    }
+}
+
 /// The sparse loop body, generic over the wake set. Every ordering-visible
 /// statement is shared by both instantiations, so agreement between
 /// [`run_sparse`] and [`run_sparse_flat`] pins exactly the queues' drain
@@ -226,11 +410,20 @@ where
     let mut participants: Vec<u32> = Vec::new();
     let mut senders: Vec<PacketId> = Vec::new();
     let mut listeners: Vec<PacketId> = Vec::new();
-    // Resolved dense handles, parallel to `senders` / `listeners`: the id →
-    // index remap is paid once here in the split pass, and the observe and
-    // wake passes below index the hot state lane directly.
-    let mut senders_at: Vec<Dense> = Vec::new();
-    let mut listeners_at: Vec<Dense> = Vec::new();
+    // Per-slot arena positions, parallel to `senders` / `listeners`: dense
+    // indices on the direct path (the id → index remap is paid once in the
+    // split pass), scratch indices on the staged path. The observe and
+    // wake passes index the slot's arena directly either way.
+    let mut senders_pos: Vec<u32> = Vec::new();
+    let mut listeners_pos: Vec<u32> = Vec::new();
+    // Resolved wake slots, parallel to `listeners`, handed from the
+    // wake-draw pass to the schedule pass (see `slot_passes`).
+    let mut wakes: Vec<Option<Slot>> = Vec::new();
+    // Staged gather/scatter state (see crate::engine::stage): the address
+    // permutation plan and the contiguous per-slot state scratch. Only
+    // touched for slots past the staging gate.
+    let mut stage = StagePlan::new();
+    let mut scratch: Vec<P> = Vec::new();
 
     // First slot not yet accounted.
     let mut now: Slot = 0;
@@ -331,139 +524,105 @@ where
             continue;
         }
 
-        // Split participants into senders and pure listeners, resolving
-        // each packet's dense handle exactly once. Later passes touch only
-        // the hot state lane through these handles; no handle survives past
-        // this slot's (potential) end-of-slot compaction.
+        // Split participants into senders and pure listeners. Below the
+        // staging gate (the direct path) the split resolves each packet's
+        // dense handle exactly once and later passes index the hot state
+        // lane through it. Past the gate — a high-fanout slot over a
+        // cache-busting state lane — the slot is staged: the participants'
+        // states are gathered into `scratch` in ascending dense-address
+        // order (one streaming sweep instead of a miss per packet), the
+        // split and every later pass run against the scratch in canonical
+        // insertion order via the plan's inverse permutation, and the
+        // mutated states are scattered back before the depart path reads
+        // the table. Either way no handle survives past this slot's
+        // (potential) end-of-slot compaction.
+        let staged = staging_applies(
+            participants.len(),
+            packets.dense_len() * std::mem::size_of::<P>(),
+        );
         senders.clear();
         listeners.clear();
-        senders_at.clear();
-        listeners_at.clear();
-        for &id in &participants {
-            let d = packets.resolve(PacketId(id));
-            let p = packets.state_at_mut(d);
-            if p.send_on_access(&mut core.rng) {
-                senders.push(PacketId(id));
-                senders_at.push(d);
-            } else {
-                listeners.push(PacketId(id));
-                listeners_at.push(d);
+        senders_pos.clear();
+        listeners_pos.clear();
+        if staged {
+            // Ordering and gather draw no randomness, so the RNG stream
+            // starts exactly where the direct path's split would start it.
+            // `build_order` sorts the ids in L1 (id order is dense-address
+            // order); `gather` resolves and copies in two prefetched
+            // ascending sweeps.
+            stage.build_order(&participants);
+            stage.gather(&packets, &mut scratch);
+            let pos_of = stage.pos_of();
+            for (k, &id) in participants.iter().enumerate() {
+                let pos = pos_of[k];
+                if scratch[pos as usize].send_on_access(&mut core.rng) {
+                    senders.push(PacketId(id));
+                    senders_pos.push(pos);
+                } else {
+                    listeners.push(PacketId(id));
+                    listeners_pos.push(pos);
+                }
+            }
+        } else {
+            for &id in &participants {
+                let d = packets.resolve(PacketId(id));
+                if packets.state_at_mut(d).send_on_access(&mut core.rng) {
+                    senders.push(PacketId(id));
+                    senders_pos.push(d.0);
+                } else {
+                    listeners.push(PacketId(id));
+                    listeners_pos.push(d.0);
+                }
             }
         }
 
         let jam = core.jam_decision(te, active_count, contention, &senders);
         let outcome = core.resolve(te, jam, &senders);
         hooks.on_slot(te, &outcome);
-        let fb = model.listener_feedback(&outcome);
 
-        // The listener loop is split into an observation pass and a wake
-        // pass. Observations draw no randomness, so the split leaves the
-        // RNG stream, the hook sequence, and the contention accumulation
-        // order exactly as in the interleaved reference loop — and both
-        // passes run four listeners at a time through the protocol's
-        // batched observe/draw surface (`observe4` / `next_wake4`), whose
-        // contract is bit-identical lanes in cohort order. Cohort
-        // collection is trivial here: `take` already returned the slot's
-        // participants in insertion order (the reference oracle's
-        // processing order), so the cohorts are consecutive quadruples of
-        // `listeners`, with the tail (< 4 packets) going through the
-        // scalar methods the defaults fall back to anyway.
-        let obs = Observation::listener(te, fb);
-        let mut quads = listeners.chunks_exact(4);
-        let mut quads_at = listeners_at.chunks_exact(4);
-        for (quad, quad_at) in quads.by_ref().zip(quads_at.by_ref()) {
-            let mut lanes = packets.lanes4_at([quad_at[0], quad_at[1], quad_at[2], quad_at[3]]);
-            if hooks.wants_observe() {
-                let before = [
-                    lanes[0].clone(),
-                    lanes[1].clone(),
-                    lanes[2].clone(),
-                    lanes[3].clone(),
-                ];
-                P::observe4(&mut lanes, &obs);
-                for (k, &id) in quad.iter().enumerate() {
-                    core.metrics.note_listen(id);
-                    contention += lanes[k].send_probability() - before[k].send_probability();
-                    hooks.on_observe(te, id, &before[k], &*lanes[k]);
-                }
-            } else {
-                // Inert hooks: the `before` states exist only to feed
-                // `on_observe`, so skip the clones and keep just the prior
-                // send probabilities. The contention update below adds the
-                // exact same f64s in the exact same order as the cloning
-                // branch, so results stay bit-identical.
-                let before_sp = [
-                    lanes[0].send_probability(),
-                    lanes[1].send_probability(),
-                    lanes[2].send_probability(),
-                    lanes[3].send_probability(),
-                ];
-                P::observe4(&mut lanes, &obs);
-                for (k, &id) in quad.iter().enumerate() {
-                    core.metrics.note_listen(id);
-                    contention += lanes[k].send_probability() - before_sp[k];
-                }
-            }
-            // Wake draws for this cohort happen right here, before the next
-            // cohort is observed. That is still the reference loop's RNG
-            // stream: observations draw nothing, so the only draws are the
-            // wake draws, and those stay in the slot's insertion order.
-            let delays = P::next_wake4(&mut lanes, &mut core.rng);
-            for (k, &id) in quad.iter().enumerate() {
-                if let Some(slot) = wake_slot(te + 1, delays[k]) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-        }
-        for (&id, &d) in quads.remainder().iter().zip(quads_at.remainder()) {
-            core.metrics.note_listen(id);
-            let p = packets.state_at_mut(d);
-            if hooks.wants_observe() {
-                let before = p.clone();
-                p.observe(&obs);
-                contention += p.send_probability() - before.send_probability();
-                hooks.on_observe(te, id, &before, p);
-            } else {
-                // Same clone elision as the quad path (see above): identical
-                // arithmetic, no state pair materialized for inert hooks.
-                let before_sp = p.send_probability();
-                p.observe(&obs);
-                contention += p.send_probability() - before_sp;
-            }
-            let delay = p.next_wake(&mut core.rng);
-            if let Some(slot) = wake_slot(te + 1, delay) {
-                queue.schedule(slot, id.0);
-            }
+        // The observe/wake/sender passes, against whichever arena holds
+        // this slot's states (see `slot_passes`). On the staged path the
+        // mutated scratch is scattered back through the address-sorted
+        // handles before the winner's depart block below reads the table.
+        if staged {
+            slot_passes(
+                &mut scratch,
+                &mut core,
+                &mut queue,
+                hooks,
+                te,
+                &outcome,
+                model,
+                &mut contention,
+                &senders,
+                &senders_pos,
+                &listeners,
+                &listeners_pos,
+                &mut wakes,
+            );
+            packets.scatter_from(stage.handles(), &scratch);
+        } else {
+            slot_passes(
+                &mut packets,
+                &mut core,
+                &mut queue,
+                hooks,
+                te,
+                &outcome,
+                model,
+                &mut contention,
+                &senders,
+                &senders_pos,
+                &listeners,
+                &listeners_pos,
+                &mut wakes,
+            );
         }
 
         let winner = match outcome {
             SlotOutcome::Success { id } => Some(id),
             _ => None,
         };
-        for (&id, &d) in senders.iter().zip(&senders_at) {
-            core.metrics.note_send(id);
-            let succeeded = winner == Some(id);
-            let obs =
-                Observation::sender(te, model.sender_feedback(&outcome, succeeded), succeeded);
-            let p = packets.state_at_mut(d);
-            if hooks.wants_observe() {
-                let before = p.clone();
-                p.observe(&obs);
-                contention += p.send_probability() - before.send_probability();
-                hooks.on_observe(te, id, &before, p);
-            } else {
-                // Same clone elision as the listener paths above.
-                let before_sp = p.send_probability();
-                p.observe(&obs);
-                contention += p.send_probability() - before_sp;
-            }
-            if !succeeded {
-                let delay = p.next_wake(&mut core.rng);
-                if let Some(slot) = wake_slot(te + 1, delay) {
-                    queue.schedule(slot, id.0);
-                }
-            }
-        }
         if let Some(id) = winner {
             let p = packets.state(id);
             contention -= p.send_probability();
@@ -483,8 +642,11 @@ where
         cap_scratch(&mut participants, SCRATCH_CAP);
         cap_scratch(&mut senders, SCRATCH_CAP);
         cap_scratch(&mut listeners, SCRATCH_CAP);
-        cap_scratch(&mut senders_at, SCRATCH_CAP);
-        cap_scratch(&mut listeners_at, SCRATCH_CAP);
+        cap_scratch(&mut senders_pos, SCRATCH_CAP);
+        cap_scratch(&mut listeners_pos, SCRATCH_CAP);
+        cap_scratch(&mut wakes, SCRATCH_CAP);
+        cap_scratch(&mut scratch, SCRATCH_CAP);
+        stage.cap();
 
         core.checkpoint(te, active_count, contention);
         now = te + 1;

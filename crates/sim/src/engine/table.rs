@@ -31,6 +31,18 @@
 //! and the dead states are dropped — so the working set tracks the live
 //! population instead of the historical one.
 //!
+//! An invariant worth naming falls out of that design: **dense order
+//! coincides with id order for live packets**. Injections append in
+//! ascending id order, and compaction only ever slides survivors forward
+//! without reordering them, so at every instant the `ids` lane is
+//! strictly increasing. The staged gather/scatter path
+//! ([`stage`](crate::engine::stage)) leans on this to sort a slot's
+//! participants by the ids it already holds — pure L1 work — and get
+//! dense-address-ascending order for free. (Nothing *breaks* if a future
+//! layout change drops the invariant — the staged permutation stays
+//! self-consistent — but the gather order silently stops being address-
+//! ascending, so the `ids_lane_stays_sorted` test pins it.)
+//!
 //! Compaction is invisible outside the table: hooks, metrics, and traces
 //! keep seeing original [`PacketId`]s (the engine never exposes dense
 //! indices), and compaction timing cannot affect results — it moves
@@ -40,6 +52,48 @@
 //! oracle and demands bit-identical output.
 
 use crate::packet::PacketId;
+
+/// Best-effort read-prefetch hint: asks the core to start pulling the
+/// cache line holding `p` toward L1. Purely a scheduling hint — no memory
+/// effects, no faults — and a no-op off x86_64.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: &T) {
+    prefetch_read_ptr(p as *const T as *const u8);
+}
+
+/// Raw-pointer variant of [`prefetch_read`], for hinting addresses no
+/// reference may legally point at (e.g. the one-past-`len` tail of a `Vec`
+/// an imminent push will write). The pointer may be dangling or
+/// out-of-bounds: `prefetcht0` cannot fault and has no memory effects.
+#[inline(always)]
+#[allow(unsafe_code)] // the crate-wide deny's one exception: pure hints
+pub(crate) fn prefetch_read_ptr(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `prefetcht0` has no architectural effects and cannot fault,
+    // whatever the address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Write-intent twin of [`prefetch_read_ptr`]: asks for the line in
+/// exclusive state, so the store that follows skips the read-for-ownership
+/// round trip a plain read hint would still pay. Same safety story — a
+/// hint, nothing more — and the same raw-pointer latitude.
+#[inline(always)]
+#[allow(unsafe_code)] // the crate-wide deny's one exception: pure hints
+pub(crate) fn prefetch_write_ptr(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: write-hint prefetches have no architectural effects and
+    // cannot fault, whatever the address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_ET0 }>(p as *const i8)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
 
 /// `index_of` sentinel: the packet has departed (its status bit).
 const VACANT: u32 = u32::MAX;
@@ -59,7 +113,7 @@ const EPOCH_MIN_DEAD: usize = 32;
 /// participants once, up front, and only compacts at end-of-slot after the
 /// last access, so no handle ever outlives its validity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Dense(u32);
+pub struct Dense(pub(crate) u32);
 
 impl Dense {
     /// The raw dense-lane index.
@@ -180,6 +234,26 @@ impl<P> PacketTable<P> {
         &self.states[d.index()]
     }
 
+    /// Hints the remap-lane entry for `id` toward cache, ahead of a
+    /// [`resolve`](Self::resolve) a few iterations out. Out-of-range ids
+    /// are ignored; off x86_64 this is a no-op.
+    #[inline]
+    pub fn prefetch_resolve(&self, id: PacketId) {
+        if let Some(p) = self.index_of.get(id.index()) {
+            prefetch_read(p);
+        }
+    }
+
+    /// Hints the hot-lane state at `d` toward cache, ahead of a
+    /// [`state_at`](Self::state_at) a few iterations out. Out-of-range
+    /// handles are ignored; off x86_64 this is a no-op.
+    #[inline]
+    pub fn prefetch_state(&self, d: Dense) {
+        if let Some(p) = self.states.get(d.index()) {
+            prefetch_read(p);
+        }
+    }
+
     /// Mutable state at a resolved handle — a hot-lane access, no remap.
     #[inline]
     pub fn state_at_mut(&mut self, d: Dense) -> &mut P {
@@ -224,6 +298,55 @@ impl<P> PacketTable<P> {
         self.states
             .get_disjoint_mut(handles.map(Dense::index))
             .expect("lane handles are distinct")
+    }
+
+    /// Copies the states at `handles` into `scratch` (cleared first), in
+    /// the order given: `scratch[j]` becomes a copy of the state at
+    /// `handles[j]`.
+    ///
+    /// This is the read half of the staged gather/scatter pass (see
+    /// [`sparse`](crate::engine::sparse)): with `handles` sorted ascending
+    /// by dense address, the hot lane is read as one forward sweep —
+    /// hardware-prefetch-friendly streaming instead of one dependent cache
+    /// miss per participant. The handles must all come from the current
+    /// epoch (no compaction between [`resolve`](Self::resolve) and this
+    /// call); like every handle use, a gather never spans a compaction.
+    pub fn gather_into(&self, handles: &[Dense], scratch: &mut Vec<P>)
+    where
+        P: Clone,
+    {
+        scratch.clear();
+        scratch.extend(handles.iter().map(|&d| self.states[d.index()].clone()));
+    }
+
+    /// Writes `scratch[j]` back to the dense entry at `handles[j]` — the
+    /// write half of the staged gather/scatter pass, one streaming sweep
+    /// over the hot lane when `handles` is address-sorted.
+    ///
+    /// Handles must be distinct (each dense entry written at most once) and
+    /// from the current epoch, mirroring [`gather_into`](Self::gather_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handles` and `scratch` have different lengths.
+    pub fn scatter_from(&mut self, handles: &[Dense], scratch: &[P])
+    where
+        P: Clone,
+    {
+        // Write-side lookahead: lines usually still sit in cache from the
+        // gather earlier in the slot, but the passes in between (wheel
+        // pushes especially) evict some — hint them back before the store
+        // stalls on them.
+        const AHEAD: usize = 32;
+        assert_eq!(handles.len(), scratch.len(), "scatter length mismatch");
+        for (i, (&d, s)) in handles.iter().zip(scratch).enumerate() {
+            if let Some(ahead) = handles.get(i + AHEAD) {
+                if let Some(p) = self.states.get(ahead.index()) {
+                    prefetch_write_ptr(p as *const P as *const u8);
+                }
+            }
+            self.states[d.index()].clone_from(s);
+        }
     }
 
     /// Allocated bytes of the bookkeeping lanes (`ids` + `index_of`) — the
@@ -515,6 +638,40 @@ mod tests {
         let empty: PacketTable<[u8; 64]> = PacketTable::new();
         assert_eq!(empty.lane_bytes(), 0);
         assert_eq!(empty.state_bytes(), 0);
+    }
+
+    #[test]
+    fn ids_lane_stays_sorted() {
+        // Dense order ≡ id order for live packets, through arbitrary
+        // retire/compact interleavings — the invariant the staged path's
+        // id-keyed radix sort leans on (see the module docs).
+        let mut t = table_of(500);
+        let mut x = 12345u64;
+        let mut live: Vec<bool> = vec![true; 500];
+        for round in 0..40 {
+            for _ in 0..12 {
+                // Cheap LCG pick of a live id.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+                let id = ((x >> 33) % 500) as u32;
+                if live[id as usize] {
+                    live[id as usize] = false;
+                    t.retire(PacketId(id));
+                }
+            }
+            if round % 5 == 0 {
+                t.compact();
+            } else {
+                t.maybe_compact();
+            }
+            let dense: Vec<u32> = (0..500u32)
+                .filter(|&id| live[id as usize])
+                .map(|id| t.resolve(PacketId(id)).0)
+                .collect();
+            assert!(
+                dense.windows(2).all(|w| w[0] < w[1]),
+                "round {round}: dense order diverged from id order"
+            );
+        }
     }
 
     #[test]

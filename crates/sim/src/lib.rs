@@ -67,7 +67,10 @@
 //! | [`hooks`] | zero-cost analysis callbacks |
 //! | [`trace`] | bounded event log for debugging protocol implementations |
 
-#![forbid(unsafe_code)]
+// Deny, not forbid: the one sanctioned exception is the effect-free
+// `prefetcht0` hint in `engine::table` (see `prefetch_read` there), which
+// carries its own narrowly-scoped `allow`.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod arrivals;

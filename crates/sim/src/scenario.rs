@@ -602,6 +602,23 @@ pub mod scenarios {
             .model(ChannelModel::NoCollisionDetection)
     }
 
+    /// The staging-coverage workload: a batch of `n` with a hard horizon
+    /// cap, meant to be run with a *small-window* protocol factory (e.g.
+    /// `LowSensing::with_window(params, 64.0)`) so early slots carry
+    /// thousand-packet participant sets. With `n` large enough that the
+    /// state lane spills past the staged gather/scatter gate (see
+    /// [`staging_applies`](crate::engine::stage::staging_applies)), the
+    /// sparse engines run the address-sorted staged path while the heap
+    /// reference runs its unstaged per-element loop — the scenario the
+    /// three-way equivalence suite uses to pin the two paths against each
+    /// other. Not part of [`registry`]: at staging-relevant sizes it is too
+    /// heavy for the registry's every-protocol sweeps.
+    pub fn high_fanout_batch(n: u64, horizon: u64) -> Scenario<Batch, NoJam> {
+        Scenario::named(format!("high-fanout-batch(n={n},horizon={horizon})"))
+            .arrivals(Batch::new(n))
+            .until_slot(horizon)
+    }
+
     /// Jammed batch of `n` on the costly-collisions channel
     /// (Anderton–Young, arXiv:1705.09271): a `k`-way collision occupies
     /// `1 + ceil(alpha·k)` physical slots.

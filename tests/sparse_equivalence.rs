@@ -434,3 +434,37 @@ fn totals_only_bit_identical() {
         "totals-only",
     );
 }
+
+/// The staged gather/scatter path against both oracles, under all three
+/// feedback models. 100k stations put the state lane (6.4 MB of 64 B
+/// `LowSensing` states) past the staging gate, and the small starting
+/// window keeps early slots at thousand-packet participant sets — so the
+/// wheel and flat-ring engines run the address-sorted staged path while
+/// the heap reference runs its unstaged per-element loop. Bit-identity
+/// here is the inverse-permutation argument made executable: staging may
+/// only reorder memory traffic, never a draw, an observation, or an
+/// accumulation. Horizon-capped: coverage needs the high-fanout prefix,
+/// not a full drain.
+#[test]
+fn staged_high_fanout_100k_three_way_bit_identical() {
+    let factory = |_: &mut SimRng| LowSensing::with_window(Params::default(), 64.0);
+    // Ternary with full per-packet metrics: the strongest pin (every
+    // packet's access counts and latencies must survive the permutation).
+    let s = scenarios::high_fanout_batch(100_000, 128).seeded(6);
+    assert_three_way(&s, factory, "high-fanout-batch under ternary");
+    // The alternative models with totals-only metrics and a shorter
+    // horizon: the staged slots still dominate the run, and totals (which
+    // fold every contention float in accumulation order) keep the
+    // bit-identity bar while the debug-build suite stays fast.
+    for model in [
+        ChannelModel::NoCollisionDetection,
+        ChannelModel::CostlyCollisions { alpha: 0.5 },
+    ] {
+        let s = scenarios::high_fanout_batch(100_000, 96)
+            .totals_only()
+            .seeded(6)
+            .model(model);
+        let what = format!("{} under {}", s.name(), model.label());
+        assert_three_way(&s, factory, &what);
+    }
+}
