@@ -168,6 +168,31 @@ impl SmokeProfile {
     }
 }
 
+/// Publishes a smoke profile into a telemetry sink under the same stable
+/// names the rest of the workspace observes through: one
+/// `bench.phase.<slug>.cycles` counter and `.share` gauge per [`PHASES`]
+/// entry, plus the headline `bench.cyc_per_access`. With the
+/// [`NoTelemetry`](lowsense_obs::NoTelemetry) default this compiles to
+/// nothing — the same off-path contract as the engine hooks.
+pub fn publish_phases<T: lowsense_obs::Telemetry>(smoke: &SmokeProfile, out: &mut T) {
+    if !out.enabled() {
+        return;
+    }
+    out.add("bench.reps", smoke.reps);
+    out.add("bench.accesses", smoke.accesses);
+    out.set("bench.cyc_per_access", smoke.cyc_per_access());
+    for (i, phase) in PHASES.iter().enumerate() {
+        out.add(
+            &format!("bench.phase.{}.cycles", phase.slug),
+            smoke.profile.cycles[i],
+        );
+        out.set(
+            &format!("bench.phase.{}.share", phase.slug),
+            smoke.profile.share(i),
+        );
+    }
+}
+
 /// Peak memory observed by [`run_profiled`]'s periodic sampling.
 ///
 /// "Engine overhead" is the wake wheel's resident footprint plus the packet
@@ -729,4 +754,38 @@ pub fn profile_sparse_capacity(
         },
         probe,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowsense_obs::{NoTelemetry, Registry};
+
+    #[test]
+    fn publish_phases_uses_stable_slug_names() {
+        let mut profile = Profile::default();
+        profile.cycles[0] = 75; // control
+        profile.cycles[6] = 25; // resolve
+        let smoke = SmokeProfile {
+            profile,
+            accesses: 10,
+            reps: 1,
+        };
+        let mut reg = Registry::new();
+        publish_phases(&smoke, &mut reg);
+        assert_eq!(reg.counter("bench.phase.control.cycles"), 75);
+        assert_eq!(reg.counter("bench.phase.resolve.cycles"), 25);
+        assert_eq!(reg.counter("bench.phase.gather.cycles"), 0);
+        assert_eq!(reg.gauge("bench.cyc_per_access"), Some(10.0));
+        let share = reg.gauge("bench.phase.control.share").unwrap();
+        assert!((share - 0.75).abs() < 1e-12);
+        // Every slug appears exactly once among the counters.
+        let phase_counters = reg
+            .counters()
+            .filter(|(k, _)| k.starts_with("bench.phase."))
+            .count();
+        assert_eq!(phase_counters, PHASES.len());
+        // The disabled sink takes the zero-cost early return.
+        publish_phases(&smoke, &mut NoTelemetry);
+    }
 }

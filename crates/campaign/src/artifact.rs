@@ -23,7 +23,7 @@ use crate::exec::{CampaignResult, CellReport};
 pub const SCHEMA: &str = "lowsense-campaign/2";
 
 /// Escapes a string for a JSON literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -21,10 +21,12 @@
 
 use crate::cell::CellStats;
 use crate::pool;
+use crate::progress::{ProgressConfig, ProgressMeta, Reporter, UnitDone};
 use crate::seed::cell_seed;
 use crate::spec::CampaignSpec;
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// One cell of a finished campaign: grid coordinates plus the merged
 /// statistics of its replicates.
@@ -182,6 +184,56 @@ impl CampaignSpec {
         let units: Vec<usize> = (0..self.unit_count()).collect();
         let stats = pool::shard_map_with(shards, units, |u| run_unit(self, u));
         fold(self, stats)
+    }
+
+    /// [`run_sharded`](CampaignSpec::run_sharded) with live progress
+    /// reporting (see [`crate::progress`]).
+    ///
+    /// Each worker job is wrapped to send one content-free completion
+    /// event (unit index + wall time) to a reporter thread after the
+    /// unit's statistics are already final; the execution, fold, and
+    /// artifact paths are otherwise *identical* to `run_sharded`, so the
+    /// result — and its JSON bytes — are the same with reporting on or
+    /// off. With a disabled config this *is* `run_sharded`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on opening the configured JSONL sink, before any
+    /// simulation work starts.
+    pub fn run_sharded_progress(
+        &self,
+        shards: usize,
+        progress: &ProgressConfig,
+    ) -> std::io::Result<CampaignResult> {
+        if !progress.enabled() {
+            return Ok(self.run_sharded(shards));
+        }
+        let unit_count = self.unit_count();
+        let reporter = Reporter::spawn(
+            ProgressMeta {
+                campaign: self.name.clone(),
+                cells: self.cell_count(),
+                replicates: self.replicates as usize,
+                shards: shards.clamp(1, unit_count.max(1)),
+            },
+            progress,
+        )?;
+        let tx = reporter.sender();
+        let units: Vec<usize> = (0..unit_count).collect();
+        let stats = pool::shard_map_with(shards, units, |u| {
+            let t0 = Instant::now();
+            let s = run_unit(self, u);
+            // Send after the stats are final; a full channel only briefly
+            // blocks this worker, and a hung-up reporter is ignored.
+            let _ = tx.send(UnitDone {
+                unit: u,
+                wall_secs: t0.elapsed().as_secs_f64(),
+            });
+            s
+        });
+        drop(tx);
+        let _registry = reporter.finish();
+        Ok(fold(self, stats))
     }
 
     /// The single-threaded reference executor: a plain loop over units in

@@ -60,6 +60,9 @@
 //!   `Welford`/sketch/histogram accumulators).
 //! * [`exec`] — serial reference and sharded executors, plus the
 //!   determinism argument tying them together.
+//! * [`progress`] — live progress reporting (stderr line + JSONL event
+//!   stream) over a bounded worker → reporter channel, guaranteed unable
+//!   to perturb results.
 //! * [`artifact`] — `CAMPAIGN_<name>.json` (schema `lowsense-campaign/2`)
 //!   and the human table.
 
@@ -70,10 +73,12 @@ pub mod artifact;
 pub mod cell;
 pub mod exec;
 pub mod pool;
+pub mod progress;
 pub mod seed;
 pub mod spec;
 
 pub use cell::CellStats;
 pub use exec::{CampaignResult, CellReport};
 pub use pool::{shard_map, shard_map_with};
+pub use progress::{ProgressConfig, PROGRESS_SCHEMA};
 pub use spec::{CampaignSpec, MetricSpec, ProtocolSpec, ScenarioPoint};

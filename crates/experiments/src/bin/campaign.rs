@@ -7,18 +7,22 @@
 //! campaign faceoff --seed 7 --out F.json    # artifact path (default
 //!                                           # CAMPAIGN_<name>.json)
 //! campaign feedback-grid                    # protocols × channel models
+//! campaign feedback-grid --progress         # live cells/sec + ETA line
+//! campaign faceoff --progress-json P.jsonl  # machine-readable progress
 //! ```
 //!
 //! The artifact bytes are a pure function of `(campaign, scale, seed)` —
-//! **not** of `--shards` — which the CI canary enforces by running the
-//! tiny face-off at 1 and 4 shards and failing on any byte difference.
+//! **not** of `--shards`, and not of the progress flags — which the CI
+//! canary enforces by running the tiny face-off at 1 and 4 shards (and
+//! with/without `--progress-json`) and failing on any byte difference.
 
 use lowsense_experiments::campaigns;
 use lowsense_experiments::common::pow2_sweep;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign <faceoff|feedback-grid> [--shards N] [--seed S] [--out FILE] [--full]"
+        "usage: campaign <faceoff|feedback-grid> [--shards N] [--seed S] [--out FILE] [--full] \
+         [--progress] [--progress-json FILE]"
     );
     std::process::exit(2);
 }
@@ -36,6 +40,7 @@ fn main() {
     let mut seed: u64 = 42;
     let mut out: Option<String> = None;
     let mut full = false;
+    let mut progress = lowsense_campaign::ProgressConfig::disabled();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,6 +48,8 @@ fn main() {
             "--seed" => seed = parse(it.next()),
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--full" => full = true,
+            "--progress" => progress.stderr = true,
+            "--progress-json" => progress.jsonl = Some(it.next().unwrap_or_else(|| usage()).into()),
             "faceoff" | "feedback-grid" if name.is_none() => name = Some(arg),
             _ => usage(),
         }
@@ -65,7 +72,9 @@ fn main() {
         shards,
         seed
     );
-    let result = spec.run_sharded(shards);
+    let result = spec
+        .run_sharded_progress(shards, &progress)
+        .expect("open progress JSONL sink");
     print!("{}", result.render());
     let path = out.unwrap_or_else(|| format!("CAMPAIGN_{}.json", result.name));
     result.write_json(&path).expect("write campaign artifact");

@@ -66,9 +66,9 @@ use crate::engine::table::PacketTable;
 use crate::engine::wake::{cap_scratch, WakeQueue, WakeSet, SCRATCH_CAP};
 use crate::engine::wake_flat::FlatWakeQueue;
 use crate::feedback::{FeedbackModel, Observation, SlotOutcome, Ternary};
-use crate::hooks::Hooks;
+use crate::hooks::{EngineSample, Hooks};
 use crate::jamming::Jammer;
-use crate::metrics::RunResult;
+use crate::metrics::{RunResult, Totals};
 use crate::packet::PacketId;
 use crate::protocol::SparseProtocol;
 use crate::rng::SimRng;
@@ -428,6 +428,44 @@ where
     // First slot not yet accounted.
     let mut now: Slot = 0;
 
+    // Out-of-band flight-recorder sampling, clocked on processed event
+    // slots. `sample_period` is contractually constant, so with the
+    // `NoHooks` default the whole branch is dead code after monomorphization
+    // — and even when live, a sample only *reads* accounting state the
+    // engine already maintains (after the slot resolved), so sampled and
+    // unsampled runs stay bit-identical.
+    let sample_every: Option<u64> = hooks.sample_period();
+    let mut event_slots: u64 = 0;
+
+    // Builds one snapshot from already-final accounting state.
+    fn engine_sample(
+        totals: &Totals,
+        te: Slot,
+        event_slots: u64,
+        backlog: u64,
+        contention: f64,
+        footprint_bytes: u64,
+        state_bytes: u64,
+    ) -> EngineSample {
+        EngineSample {
+            slot: te,
+            event_slots,
+            backlog,
+            arrivals: totals.arrivals,
+            successes: totals.successes,
+            active_slots: totals.active_slots,
+            empty_active: totals.empty_active,
+            collision_slots: totals.collision_slots,
+            jammed_active: totals.jammed_active,
+            sends: totals.sends,
+            listens: totals.listens,
+            overhead_slots: totals.overhead_slots,
+            contention,
+            footprint_bytes,
+            state_bytes,
+        }
+    }
+
     // Accounts a silent gap `[from, to)`, forwarding active gaps to hooks.
     fn gap<A: ArrivalProcess, J: Jammer, M: FeedbackModel, P, H: Hooks<P>>(
         core: &mut EngineCore<A, J, M>,
@@ -518,6 +556,20 @@ where
                 let outcome = core.resolve(te, jam, &[]);
                 hooks.on_slot(te, &outcome);
                 core.checkpoint(te, active_count, contention);
+            }
+            event_slots += 1;
+            if let Some(period) = sample_every {
+                if event_slots.is_multiple_of(period) {
+                    hooks.on_sample(&engine_sample(
+                        &core.metrics.totals,
+                        te,
+                        event_slots,
+                        active_count,
+                        contention,
+                        queue.footprint_bytes() as u64,
+                        packets.lane_bytes() as u64,
+                    ));
+                }
             }
             now = te + 1;
             core.step_done();
@@ -649,6 +701,20 @@ where
         stage.cap();
 
         core.checkpoint(te, active_count, contention);
+        event_slots += 1;
+        if let Some(period) = sample_every {
+            if event_slots.is_multiple_of(period) {
+                hooks.on_sample(&engine_sample(
+                    &core.metrics.totals,
+                    te,
+                    event_slots,
+                    active_count,
+                    contention,
+                    queue.footprint_bytes() as u64,
+                    packets.lane_bytes() as u64,
+                ));
+            }
+        }
         now = te + 1;
         core.step_done();
     }

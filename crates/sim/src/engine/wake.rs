@@ -290,6 +290,12 @@ pub(crate) trait WakeSet {
     fn advance_to(&mut self, t: Slot);
     /// Drains slot `t`'s events into `out` in insertion order.
     fn take(&mut self, t: Slot, out: &mut Vec<u32>);
+    /// Approximate heap footprint in bytes, for out-of-band telemetry
+    /// sampling. Purely observational; implementations without a cheap
+    /// answer keep the default 0.
+    fn footprint_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Hierarchical timing wheel of pending wake events, keyed by absolute
@@ -673,6 +679,9 @@ impl WakeSet for WakeQueue {
     #[inline]
     fn take(&mut self, t: Slot, out: &mut Vec<u32>) {
         WakeQueue::take(self, t, out)
+    }
+    fn footprint_bytes(&self) -> usize {
+        WakeQueue::footprint_bytes(self)
     }
 }
 

@@ -10,6 +10,60 @@ use crate::feedback::SlotOutcome;
 use crate::packet::PacketId;
 use crate::time::Slot;
 
+/// One out-of-band snapshot of engine state, handed to
+/// [`Hooks::on_sample`] every [`Hooks::sample_period`] event slots.
+///
+/// Every field is copied from accounting state the engine already
+/// maintains (`Totals`, the live backlog/contention registers, and the
+/// sparse-path memory footprints) *after* the slot resolved — taking a
+/// sample never touches RNG state, packet ordering, or f64 accumulation,
+/// so sampled and unsampled runs produce bit-identical `RunResult`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSample {
+    /// Wall-clock slot the sample was taken at (the slot just resolved).
+    pub slot: Slot,
+    /// Event slots processed so far (slots the sparse engine actually
+    /// simulated; gaps are excluded). This is the sampling clock.
+    pub event_slots: u64,
+    /// Packets currently in the system.
+    pub backlog: u64,
+    /// Packets injected so far (`N_t`).
+    pub arrivals: u64,
+    /// Packets delivered so far (`T_t`).
+    pub successes: u64,
+    /// Active slots so far (`S_t`).
+    pub active_slots: u64,
+    /// Active slots with zero senders and no jam, so far.
+    pub empty_active: u64,
+    /// Active slots with ≥ 2 senders and no jam, so far.
+    pub collision_slots: u64,
+    /// Jammed active slots so far (`J_t`).
+    pub jammed_active: u64,
+    /// Total transmissions so far.
+    pub sends: u64,
+    /// Total pure listens so far.
+    pub listens: u64,
+    /// Extra physical slots charged by the feedback model so far.
+    pub overhead_slots: u64,
+    /// Contention `C(t)` after the slot resolved.
+    pub contention: f64,
+    /// Wake-structure heap footprint in bytes (0 where not tracked).
+    pub footprint_bytes: u64,
+    /// Per-packet state-lane bytes (0 where not tracked).
+    pub state_bytes: u64,
+}
+
+impl EngineSample {
+    /// Implicit throughput `(N_t + J_t) / S_t` at this sample (0/0 ⇒ 1).
+    pub fn implicit_throughput(&self) -> f64 {
+        if self.active_slots == 0 {
+            1.0
+        } else {
+            (self.arrivals + self.jammed_active) as f64 / self.active_slots as f64
+        }
+    }
+}
+
 /// Callbacks invoked by the engines as the run evolves.
 ///
 /// All methods have empty default bodies; implement only what you need.
@@ -65,6 +119,22 @@ pub trait Hooks<P> {
     fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
         let _ = (from, to, jammed);
     }
+
+    /// How often (in processed event slots) this hook set wants an
+    /// [`EngineSample`]; `None` (the default) disables sampling and the
+    /// engine's sampling branch compiles away entirely. Like
+    /// [`Hooks::wants_observe`], implementations must return a constant:
+    /// engines consult it once per run and monomorphize the dead branch
+    /// out.
+    fn sample_period(&self) -> Option<u64> {
+        None
+    }
+
+    /// A periodic out-of-band engine snapshot, delivered every
+    /// [`Hooks::sample_period`] event slots after the slot resolves.
+    fn on_sample(&mut self, sample: &EngineSample) {
+        let _ = sample;
+    }
 }
 
 /// The trivial hook set: observes nothing, costs nothing.
@@ -109,6 +179,18 @@ impl<P, A: Hooks<P>, B: Hooks<P>> Hooks<P> for Both<A, B> {
     fn on_gap(&mut self, from: Slot, to: Slot, jammed: u64) {
         self.0.on_gap(from, to, jammed);
         self.1.on_gap(from, to, jammed);
+    }
+
+    fn sample_period(&self) -> Option<u64> {
+        match (self.0.sample_period(), self.1.sample_period()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn on_sample(&mut self, sample: &EngineSample) {
+        self.0.on_sample(sample);
+        self.1.on_sample(sample);
     }
 }
 
@@ -164,5 +246,75 @@ mod tests {
         let mut h = NoHooks;
         Hooks::<u8>::on_inject(&mut h, 0, PacketId(0), &0);
         Hooks::<u8>::on_gap(&mut h, 0, 1, 0);
+    }
+
+    struct Sampler {
+        period: u64,
+        samples: u32,
+    }
+
+    impl Hooks<u8> for Sampler {
+        fn sample_period(&self) -> Option<u64> {
+            Some(self.period)
+        }
+        fn on_sample(&mut self, _s: &EngineSample) {
+            self.samples += 1;
+        }
+    }
+
+    fn zero_sample() -> EngineSample {
+        EngineSample {
+            slot: 0,
+            event_slots: 0,
+            backlog: 0,
+            arrivals: 0,
+            successes: 0,
+            active_slots: 0,
+            empty_active: 0,
+            collision_slots: 0,
+            jammed_active: 0,
+            sends: 0,
+            listens: 0,
+            overhead_slots: 0,
+            contention: 0.0,
+            footprint_bytes: 0,
+            state_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn sample_period_defaults_off_and_both_takes_min() {
+        assert_eq!(Hooks::<u8>::sample_period(&NoHooks), None);
+        let a = Sampler {
+            period: 64,
+            samples: 0,
+        };
+        let b = Sampler {
+            period: 16,
+            samples: 0,
+        };
+        let mut both = Both(a, b);
+        assert_eq!(Hooks::<u8>::sample_period(&both), Some(16));
+        Hooks::<u8>::on_sample(&mut both, &zero_sample());
+        assert_eq!((both.0.samples, both.1.samples), (1, 1));
+        // One-sided: the present period wins.
+        let one = Both(
+            NoHooks,
+            Sampler {
+                period: 8,
+                samples: 0,
+            },
+        );
+        assert_eq!(Hooks::<u8>::sample_period(&one), Some(8));
+    }
+
+    #[test]
+    fn sample_implicit_throughput_matches_totals_convention() {
+        let mut s = zero_sample();
+        assert_eq!(s.implicit_throughput(), 1.0, "0/0 => 1");
+        s.arrivals = 4;
+        s.jammed_active = 2;
+        s.active_slots = 12;
+        assert!((s.implicit_throughput() - 0.5).abs() < 1e-12);
     }
 }

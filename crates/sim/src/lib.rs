@@ -105,7 +105,7 @@ pub mod prelude {
         resolve_slot, ChannelModel, CostlyCollisions, Feedback, FeedbackModel, Intent,
         NoCollisionDetection, Observation, SlotOutcome, Ternary,
     };
-    pub use crate::hooks::{Both, Hooks, NoHooks};
+    pub use crate::hooks::{Both, EngineSample, Hooks, NoHooks};
     pub use crate::jamming::{
         BacklogJam, BudgetedRandomJam, Jammer, NoJam, PeriodicBurst, RandomJam, ReactiveAny,
         ReactiveTargeted, WindowPrefixJam, WithReactive,

@@ -104,6 +104,9 @@ pub struct SeriesPoint {
     pub sends: u64,
     /// Total listens so far.
     pub listens: u64,
+    /// Extra physical slots charged by the feedback model so far (costly-
+    /// collision clock dilation; 0 under ternary and no-CD channels).
+    pub overhead_slots: u64,
     /// Contention `C(t)` at the sample.
     pub contention: f64,
 }
@@ -292,6 +295,7 @@ impl Metrics {
             backlog,
             sends: self.totals.sends,
             listens: self.totals.listens,
+            overhead_slots: self.totals.overhead_slots,
             contention,
         });
         let mut next = (self.next_checkpoint as f64 * factor) as u64;
@@ -468,6 +472,19 @@ mod tests {
         let xs: Vec<u64> = r.series.iter().map(|p| p.active_slots).collect();
         assert_eq!(xs, vec![1, 2, 4, 8, 16, 32, 64]);
         assert!(r.series.iter().all(|p| (p.contention - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn series_carries_overhead_slots() {
+        let mut m = Metrics::new(MetricsConfig::totals_only().with_series(2.0));
+        m.note_slot(0, &SlotOutcome::Collision { senders: 3 });
+        m.note_overhead(5);
+        m.maybe_checkpoint(0, 3, 1.5);
+        m.note_slot(1, &SlotOutcome::Empty);
+        m.maybe_checkpoint(1, 3, 1.5);
+        let r = m.finish(0);
+        let ov: Vec<u64> = r.series.iter().map(|p| p.overhead_slots).collect();
+        assert_eq!(ov, vec![5, 5], "samples snapshot cumulative overhead");
     }
 
     #[test]

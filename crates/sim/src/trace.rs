@@ -153,6 +153,163 @@ impl EventLog {
         }
         out
     }
+
+    /// Serializes the log as JSON Lines: a header record carrying the
+    /// schema tag, the capacity, and the `dropped` count, followed by one
+    /// record per retained event (oldest first). The exact inverse of
+    /// [`EventLog::from_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"{}\",\"capacity\":{},\"dropped\":{},\"events\":{}}}",
+            TRACE_SCHEMA,
+            self.capacity,
+            self.dropped,
+            self.events.len()
+        );
+        for e in &self.events {
+            match e {
+                Event::Inject { slot, id } => {
+                    let _ = writeln!(out, "{{\"ev\":\"inject\",\"slot\":{slot},\"id\":{}}}", id.0);
+                }
+                Event::Depart { slot, id } => {
+                    let _ = writeln!(out, "{{\"ev\":\"depart\",\"slot\":{slot},\"id\":{}}}", id.0);
+                }
+                Event::Observe { slot, id } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"ev\":\"observe\",\"slot\":{slot},\"id\":{}}}",
+                        id.0
+                    );
+                }
+                Event::Slot { slot, outcome } => {
+                    let _ = match outcome {
+                        SlotOutcome::Empty => writeln!(
+                            out,
+                            "{{\"ev\":\"slot\",\"slot\":{slot},\"outcome\":\"empty\"}}"
+                        ),
+                        SlotOutcome::Success { id } => writeln!(
+                            out,
+                            "{{\"ev\":\"slot\",\"slot\":{slot},\"outcome\":\"success\",\"id\":{}}}",
+                            id.0
+                        ),
+                        SlotOutcome::Collision { senders } => writeln!(
+                            out,
+                            "{{\"ev\":\"slot\",\"slot\":{slot},\"outcome\":\"collision\",\"senders\":{senders}}}"
+                        ),
+                        SlotOutcome::Jammed { senders } => writeln!(
+                            out,
+                            "{{\"ev\":\"slot\",\"slot\":{slot},\"outcome\":\"jammed\",\"senders\":{senders}}}"
+                        ),
+                    };
+                }
+                Event::Gap { from, to, jammed } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"ev\":\"gap\",\"from\":{from},\"to\":{to},\"jammed\":{jammed}}}"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a log from [`EventLog::to_jsonl`] output.
+    ///
+    /// Returns an error naming the offending line for an unknown schema,
+    /// a malformed record, or an event count that disagrees with the
+    /// header. Round-trips exactly: capacity, dropped count, and the
+    /// retained event sequence all survive.
+    pub fn from_jsonl(text: &str) -> Result<EventLog, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty trace: missing header")?;
+        if json_str(header, "schema").as_deref() != Some(TRACE_SCHEMA) {
+            return Err(format!("unknown trace schema in header: {header}"));
+        }
+        let capacity = json_u64(header, "capacity")
+            .ok_or_else(|| format!("header missing capacity: {header}"))?
+            as usize;
+        let dropped = json_u64(header, "dropped")
+            .ok_or_else(|| format!("header missing dropped: {header}"))?;
+        let declared =
+            json_u64(header, "events").ok_or_else(|| format!("header missing events: {header}"))?;
+        let mut log = EventLog::new(capacity.max(1));
+        let mut events = VecDeque::new();
+        for line in lines {
+            let bad = || format!("malformed trace record: {line}");
+            let ev = json_str(line, "ev").ok_or_else(bad)?;
+            let e = match ev.as_str() {
+                "inject" | "depart" | "observe" => {
+                    let slot = json_u64(line, "slot").ok_or_else(bad)?;
+                    let id = PacketId(json_u64(line, "id").ok_or_else(bad)? as u32);
+                    match ev.as_str() {
+                        "inject" => Event::Inject { slot, id },
+                        "depart" => Event::Depart { slot, id },
+                        _ => Event::Observe { slot, id },
+                    }
+                }
+                "slot" => {
+                    let slot = json_u64(line, "slot").ok_or_else(bad)?;
+                    let outcome = match json_str(line, "outcome").ok_or_else(bad)?.as_str() {
+                        "empty" => SlotOutcome::Empty,
+                        "success" => SlotOutcome::Success {
+                            id: PacketId(json_u64(line, "id").ok_or_else(bad)? as u32),
+                        },
+                        "collision" => SlotOutcome::Collision {
+                            senders: json_u64(line, "senders").ok_or_else(bad)? as u32,
+                        },
+                        "jammed" => SlotOutcome::Jammed {
+                            senders: json_u64(line, "senders").ok_or_else(bad)? as u32,
+                        },
+                        _ => return Err(bad()),
+                    };
+                    Event::Slot { slot, outcome }
+                }
+                "gap" => Event::Gap {
+                    from: json_u64(line, "from").ok_or_else(bad)?,
+                    to: json_u64(line, "to").ok_or_else(bad)?,
+                    jammed: json_u64(line, "jammed").ok_or_else(bad)?,
+                },
+                _ => return Err(bad()),
+            };
+            events.push_back(e);
+        }
+        if events.len() as u64 != declared {
+            return Err(format!(
+                "header declares {declared} events, found {}",
+                events.len()
+            ));
+        }
+        log.events = events;
+        log.dropped = dropped;
+        Ok(log)
+    }
+}
+
+/// Schema tag stamped on the [`EventLog::to_jsonl`] header record.
+pub const TRACE_SCHEMA: &str = "lowsense-trace/1";
+
+/// Extracts the unsigned-integer value of `"key":<digits>` from a flat
+/// one-line JSON record (the only shape this module emits).
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string value of `"key":"…"` from a flat one-line JSON
+/// record. Values never contain escapes in this module's schema.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 impl<P> Hooks<P> for EventLog {
@@ -254,5 +411,60 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         EventLog::new(0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_dropped_header() {
+        let mut log = EventLog::new(4);
+        hooks(&mut log).on_inject(0, PacketId(0), &0);
+        hooks(&mut log).on_slot(0, &SlotOutcome::Collision { senders: 2 });
+        hooks(&mut log).on_gap(1, 9, 3);
+        hooks(&mut log).on_slot(9, &SlotOutcome::Success { id: PacketId(0) });
+        hooks(&mut log).on_observe(9, PacketId(0), &0, &1);
+        hooks(&mut log).on_depart(9, PacketId(0), &1);
+        assert_eq!(log.dropped(), 2, "capacity 4 evicted the oldest two");
+
+        let text = log.to_jsonl();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"schema\":\"lowsense-trace/1\""));
+        assert!(header.contains("\"dropped\":2"));
+        assert_eq!(text.lines().count(), 1 + 4, "header + retained events");
+
+        let back = EventLog::from_jsonl(&text).unwrap();
+        assert_eq!(back.dropped(), log.dropped());
+        assert_eq!(
+            back.events().collect::<Vec<_>>(),
+            log.events().collect::<Vec<_>>()
+        );
+        // A second trip is byte-stable.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_covers_every_outcome_variant() {
+        let mut log = EventLog::new(8);
+        hooks(&mut log).on_slot(0, &SlotOutcome::Empty);
+        hooks(&mut log).on_slot(1, &SlotOutcome::Success { id: PacketId(7) });
+        hooks(&mut log).on_slot(2, &SlotOutcome::Collision { senders: 5 });
+        hooks(&mut log).on_slot(3, &SlotOutcome::Jammed { senders: 1 });
+        let back = EventLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(
+            back.events().collect::<Vec<_>>(),
+            log.events().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_input() {
+        assert!(EventLog::from_jsonl("").is_err());
+        assert!(EventLog::from_jsonl("{\"schema\":\"bogus/9\"}").is_err());
+        let missing =
+            "{\"schema\":\"lowsense-trace/1\",\"capacity\":4,\"dropped\":0,\"events\":1}\n\
+                       {\"ev\":\"slot\",\"slot\":0}";
+        assert!(EventLog::from_jsonl(missing).is_err(), "outcome missing");
+        let miscount =
+            "{\"schema\":\"lowsense-trace/1\",\"capacity\":4,\"dropped\":0,\"events\":2}\n\
+                        {\"ev\":\"gap\",\"from\":0,\"to\":5,\"jammed\":0}";
+        assert!(EventLog::from_jsonl(miscount).is_err(), "count mismatch");
     }
 }
